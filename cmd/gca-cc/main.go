@@ -1,0 +1,116 @@
+// Command gca-cc computes the connected components of an undirected graph
+// on the simulated Global Cellular Automaton (or comparison engines):
+//
+//	gca-cc -in graph.txt -format matrix
+//	gca-cc -in graph.el -format edges -engine pram
+//	echo '3 1
+//	0 2' | gca-cc -format edges -stats
+//
+// It prints one "vertex label" pair per line, the component count, and —
+// with -stats — the per-generation activity/congestion summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gcacc/internal/congestion"
+	"gcacc/internal/core"
+	"gcacc/internal/graph"
+	"gcacc/internal/pram"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "-", "input file ('-' = stdin)")
+		format = flag.String("format", "edges", "input format: edges|matrix")
+		engine = flag.String("engine", "gca", "engine: gca|pram|bfs|dfs|unionfind")
+		stats  = flag.Bool("stats", false, "print per-generation statistics (gca engine)")
+		quiet  = flag.Bool("quiet", false, "suppress per-vertex output")
+	)
+	flag.Parse()
+
+	g, err := readGraph(*in, *format)
+	if err != nil {
+		fatal(err)
+	}
+
+	labels, extra, err := run(g, *engine, *stats)
+	if err != nil {
+		fatal(err)
+	}
+
+	if !*quiet {
+		for v, l := range labels {
+			fmt.Printf("%d %d\n", v, l)
+		}
+	}
+	fmt.Printf("# vertices=%d edges=%d components=%d engine=%s\n",
+		g.N(), g.M(), graph.ComponentCount(labels), *engine)
+	if extra != "" {
+		fmt.Print(extra)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gca-cc:", err)
+	os.Exit(1)
+}
+
+func readGraph(path, format string) (*graph.Graph, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	switch format {
+	case "edges":
+		return graph.ReadEdgeList(r)
+	case "matrix":
+		return graph.ReadMatrix(r)
+	default:
+		return nil, fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func run(g *graph.Graph, engine string, stats bool) (labels []int, extra string, err error) {
+	switch engine {
+	case "gca":
+		res, err := core.Run(g, core.Options{CollectStats: stats})
+		if err != nil {
+			return nil, "", err
+		}
+		extra = fmt.Sprintf("# gca generations=%d iterations=%d (formula %d)\n",
+			res.Generations, res.Iterations, core.TotalGenerations(g.N()))
+		if stats {
+			measured := congestion.AggregateFirstIteration(res)
+			extra += congestion.FormatComparison(congestion.PaperTable1(g.N()), measured)
+		}
+		return res.Labels, extra, nil
+	case "pram":
+		res, err := pram.Hirschberg(g, pram.Options{})
+		if err != nil {
+			return nil, "", err
+		}
+		c := res.Costs
+		extra = fmt.Sprintf("# pram steps=%d work=%d reads=%d writes=%d maxδ=%d\n",
+			c.Steps, c.Work, c.Reads, c.Writes, c.MaxReadCongestion)
+		return res.Labels, extra, nil
+	case "bfs":
+		return graph.ConnectedComponentsBFS(g), "", nil
+	case "dfs":
+		return graph.ConnectedComponentsDFS(g), "", nil
+	case "unionfind":
+		return graph.ConnectedComponentsUnionFind(g), "", nil
+	default:
+		return nil, "", fmt.Errorf("unknown engine %q", engine)
+	}
+}

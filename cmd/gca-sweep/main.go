@@ -1,0 +1,151 @@
+// Command gca-sweep runs parameter sweeps over the paper's quantities and
+// emits CSV, ready for plotting:
+//
+//	gca-sweep -experiment generations -max 256
+//	gca-sweep -experiment congestion -max 64 -p 0.5
+//	gca-sweep -experiment hw -max 512
+//	gca-sweep -experiment models -max 64
+//	gca-sweep -experiment walltime -max 128 -reps 3
+//
+// Every experiment doubles n from -min (default 2) to -max.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"gcacc/internal/congestion"
+	"gcacc/internal/core"
+	"gcacc/internal/graph"
+	"gcacc/internal/hw"
+	"gcacc/internal/pram"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "generations", "generations|congestion|hw|models|walltime")
+		minN       = flag.Int("min", 2, "smallest n")
+		maxN       = flag.Int("max", 128, "largest n")
+		p          = flag.Float64("p", 0.5, "edge probability")
+		seed       = flag.Int64("seed", 2007, "random seed")
+		reps       = flag.Int("reps", 1, "repetitions for walltime")
+	)
+	flag.Parse()
+
+	var err error
+	switch *experiment {
+	case "generations":
+		err = sweepGenerations(*minN, *maxN, *p, *seed)
+	case "congestion":
+		err = sweepCongestion(*minN, *maxN, *p, *seed)
+	case "hw":
+		err = sweepHW(*minN, *maxN)
+	case "models":
+		err = sweepModels(*minN, *maxN, *p, *seed)
+	case "walltime":
+		err = sweepWalltime(*minN, *maxN, *p, *seed, *reps)
+	default:
+		err = fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gca-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func sweepGenerations(minN, maxN int, p float64, seed int64) error {
+	fmt.Println("n,logn,iterations,formula,executed,pram_steps")
+	for n := minN; n <= maxN; n *= 2 {
+		g := graph.Gnp(n, p, rand.New(rand.NewSource(seed)))
+		res, err := core.ConnectedComponents(g)
+		if err != nil {
+			return err
+		}
+		pres, err := pram.Hirschberg(g, pram.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d,%d,%d,%d,%d,%d\n",
+			n, core.SubGenerations(n), res.Iterations,
+			core.TotalGenerations(n), res.Generations, pres.Costs.Steps)
+	}
+	return nil
+}
+
+func sweepCongestion(minN, maxN int, p float64, seed int64) error {
+	fmt.Println("n,generation,name,max_delta,reads_total,active_max")
+	for n := minN; n <= maxN; n *= 2 {
+		g := graph.Gnp(n, p, rand.New(rand.NewSource(seed)))
+		rows, err := congestion.MeasureTable1(g)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("%d,%d,%s,%d,%d,%d\n",
+				n, r.Generation, r.Name, r.MaxDelta, r.ReadsTotal, r.ActiveMax)
+		}
+	}
+	return nil
+}
+
+func sweepHW(minN, maxN int) error {
+	fmt.Println("n,cells,data_width,register_bits,logic_elements,fmax_mhz,runtime_us")
+	for n := minN; n <= maxN; n *= 2 {
+		s := hw.Estimate(n)
+		fmt.Printf("%d,%d,%d,%d,%d,%.2f,%.3f\n",
+			n, s.Cells, s.DataWidth, s.RegisterBits, s.LogicElements, s.FMaxMHz, hw.RuntimeMicros(n))
+	}
+	return nil
+}
+
+func sweepModels(minN, maxN int, p float64, seed int64) error {
+	fmt.Println("n,unit,replicated,tree,serial")
+	for n := minN; n <= maxN; n *= 2 {
+		g := graph.Gnp(n, p, rand.New(rand.NewSource(seed)))
+		res, err := core.Run(g, core.Options{CollectStats: true})
+		if err != nil {
+			return err
+		}
+		c := congestion.CompareModels(res.Records)
+		fmt.Printf("%d,%d,%d,%d,%d\n",
+			n, c[congestion.Unit], c[congestion.Replicated], c[congestion.Tree], c[congestion.Serial])
+	}
+	return nil
+}
+
+func sweepWalltime(minN, maxN int, p float64, seed int64, reps int) error {
+	fmt.Println("n,engine,best_ns")
+	for n := minN; n <= maxN; n *= 2 {
+		g := graph.Gnp(n, p, rand.New(rand.NewSource(seed)))
+		best := func(f func() error) (int64, error) {
+			var b int64 = 1<<63 - 1
+			for r := 0; r < reps; r++ {
+				t0 := time.Now()
+				if err := f(); err != nil {
+					return 0, err
+				}
+				if d := time.Since(t0).Nanoseconds(); d < b {
+					b = d
+				}
+			}
+			return b, nil
+		}
+		gcaNs, err := best(func() error { _, err := core.ConnectedComponents(g); return err })
+		if err != nil {
+			return err
+		}
+		pramNs, err := best(func() error { _, err := pram.Hirschberg(g, pram.Options{}); return err })
+		if err != nil {
+			return err
+		}
+		seqNs, err := best(func() error { graph.ConnectedComponentsUnionFind(g); return nil })
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d,gca,%d\n%d,pram,%d\n%d,unionfind,%d\n", n, gcaNs, n, pramNs, n, seqNs)
+	}
+	return nil
+}

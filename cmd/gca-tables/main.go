@@ -1,0 +1,389 @@
+// Command gca-tables regenerates every table and figure of the paper:
+//
+//	gca-tables -all                 # everything, n = 16
+//	gca-tables -table1 -n 16        # Table 1: active cells & congestion
+//	gca-tables -table2 -n 16        # Table 2: generations per step
+//	gca-tables -figure2             # Figure 2: the 12-generation rules
+//	gca-tables -figure3             # Figure 3: access patterns for n = 4
+//	gca-tables -synthesis           # Section 4: FPGA synthesis estimate
+//	gca-tables -formula -n 1024     # Section 3: total-generation formula
+//	gca-tables -models -n 16        # Section 4: congestion-remedy ablation
+//
+// The measurement graph defaults to G(n, p) with a fixed seed; -p, -seed
+// and -graph change it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"gcacc/internal/congestion"
+	"gcacc/internal/core"
+	"gcacc/internal/experiments"
+	"gcacc/internal/graph"
+	"gcacc/internal/hw"
+	"gcacc/internal/ncell"
+	"gcacc/internal/netsim"
+	"gcacc/internal/trace"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 16, "graph size (number of nodes)")
+		seed      = flag.Int64("seed", 2007, "random seed for the measurement graph")
+		p         = flag.Float64("p", 0.5, "edge probability for -graph gnp")
+		graphKind = flag.String("graph", "gnp", "measurement graph: gnp|path|cycle|star|complete|cliques|empty")
+		table1    = flag.Bool("table1", false, "print Table 1 (paper formulas vs measured)")
+		table2    = flag.Bool("table2", false, "print Table 2 (generations per step)")
+		figure2   = flag.Bool("figure2", false, "print Figure 2 (generation rules)")
+		figure3   = flag.Bool("figure3", false, "print Figure 3 (access patterns, n = 4)")
+		synthesis = flag.Bool("synthesis", false, "print the Section-4 synthesis estimate")
+		formula   = flag.Bool("formula", false, "print the Section-3 generation-count formula sweep")
+		models    = flag.Bool("models", false, "print the congestion timing-model ablation")
+		ablation  = flag.Bool("ablation", false, "print the n-cell vs n²-cell design-space table")
+		network   = flag.Bool("network", false, "print the butterfly/hashing congestion experiments (Section 1)")
+		check     = flag.Bool("check", false, "run the machine-checkable reproduction registry and report PASS/FAIL")
+		all       = flag.Bool("all", false, "print everything")
+	)
+	flag.Parse()
+
+	if *all {
+		*table1, *table2, *figure2, *figure3 = true, true, true, true
+		*synthesis, *formula, *models, *ablation, *network, *check = true, true, true, true, true, true
+	}
+	if !(*table1 || *table2 || *figure2 || *figure3 || *synthesis || *formula || *models || *ablation || *network || *check) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *figure2 {
+		printFigure2()
+	}
+	if *figure3 {
+		if err := printFigure3(); err != nil {
+			fatal(err)
+		}
+	}
+	if *table1 {
+		g, err := makeGraph(*graphKind, *n, *p, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := printTable1(g); err != nil {
+			fatal(err)
+		}
+	}
+	if *table2 {
+		printTable2(*n)
+	}
+	if *formula {
+		printFormula(*n)
+	}
+	if *models {
+		g, err := makeGraph(*graphKind, *n, *p, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := printModels(g); err != nil {
+			fatal(err)
+		}
+	}
+	if *synthesis {
+		printSynthesis(*n)
+	}
+	if *ablation {
+		if err := printAblation(*n, *p, *seed); err != nil {
+			fatal(err)
+		}
+	}
+	if *network {
+		if err := printNetwork(); err != nil {
+			fatal(err)
+		}
+	}
+	if *check {
+		if !runChecks() {
+			os.Exit(1)
+		}
+	}
+}
+
+func runChecks() bool {
+	fmt.Println("=== Reproduction registry: paper claims vs this implementation ===")
+	ok := true
+	for _, e := range experiments.All() {
+		err := e.Validate()
+		status := "PASS"
+		if err != nil {
+			status = "FAIL"
+			ok = false
+		}
+		fmt.Printf("%-4s %-24s %s\n", status, e.ID, e.Claim)
+		if err != nil {
+			fmt.Printf("     ^ %v\n", err)
+		}
+	}
+	fmt.Println()
+	return ok
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gca-tables:", err)
+	os.Exit(1)
+}
+
+func makeGraph(kind string, n int, p float64, seed int64) (*graph.Graph, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case "gnp":
+		return graph.Gnp(n, p, rng), nil
+	case "path":
+		return graph.Path(n), nil
+	case "cycle":
+		return graph.Cycle(n), nil
+	case "star":
+		return graph.Star(n), nil
+	case "complete":
+		return graph.Complete(n), nil
+	case "cliques":
+		size := 4
+		if n < 4 {
+			size = 1
+		}
+		return graph.DisjointCliques(n/size, size), nil
+	case "empty":
+		return graph.Empty(n), nil
+	default:
+		return nil, fmt.Errorf("unknown graph kind %q", kind)
+	}
+}
+
+func printFigure2() {
+	fmt.Println("=== Figure 2: GCA algorithm — pointer operation and data operation per generation ===")
+	rows := []struct {
+		gen     string
+		pointer string
+		data    string
+	}{
+		{"0", "(local)", "d ← row(index)"},
+		{"1", "p = col(index)·n", "d ← d*"},
+		{"2", "p = n² + row(index)   [square only]", "if ((d≠d*) & (A=1)) ∨ row=n then d ← d else d ← ∞"},
+		{"3 ×log n", "p = index + 2^sub    [row-guarded]", "if (d* < d) & row≠n then d ← d* else d ← d"},
+		{"4", "if col=0 & row≠n: p = n² + row(index)", "if (a): if d=∞ then d ← d* else d ← d"},
+		{"5", "p = col(index)·n", "if row=n then d ← d else d ← d*"},
+		{"6", "p = n² + col(index)   [square only]", "if (d* = row) & (d ≠ row) then d ← d else d ← ∞"},
+		{"7 ×log n", "(3a)", "(3b)"},
+		{"8", "(4a)", "(4b)"},
+		{"9", "p = row(index)·n   [square, col ≠ 0]", "d ← d*"},
+		{"10 ×log n", "if col=0 & row≠n: p = d·n", "if col=0 & row≠n then d ← d* else d ← d"},
+		{"11", "if col=0 & row≠n: p = d·n + 1", "if col=0 & row≠n then d ← min(d, d*) else d ← d"},
+	}
+	fmt.Printf("%-10s | %-42s | %s\n", "generation", "pointer operation", "data operation")
+	fmt.Println(fmt.Sprintf("%0.0s-----------+--------------------------------------------+---------------------------------------------------", ""))
+	for _, r := range rows {
+		fmt.Printf("%-10s | %-42s | %s\n", r.gen, r.pointer, r.data)
+	}
+	fmt.Println("(Generation 6 uses the column-indexed read; see DESIGN.md deviation 1.)")
+	fmt.Println()
+}
+
+func printFigure3() error {
+	fmt.Println("=== Figure 3: access patterns for n = 4 (first iteration; '*' marks active cells) ===")
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	rec := trace.NewRecorder(0)
+	_, err := core.Run(g, core.Options{
+		CollectStats:    true,
+		CapturePointers: true,
+		Observer:        rec,
+	})
+	if err != nil {
+		return err
+	}
+	for _, st := range rec.Steps() {
+		if st.Ctx.Iteration > 0 {
+			break
+		}
+		fmt.Printf("generation %d (%s), sub %d — %s\n",
+			st.Ctx.Generation, core.GenerationName(st.Ctx.Generation), st.Ctx.Sub, trace.Summary(st))
+		fmt.Println("access pattern (cell → global cell):")
+		fmt.Print(trace.RenderAccessGrid(st, 5, 4))
+		fmt.Println("data after the generation:")
+		fmt.Print(trace.RenderDataGrid(st, 5, 4))
+		fmt.Println()
+	}
+	return nil
+}
+
+func printTable1(g *graph.Graph) error {
+	fmt.Printf("=== Table 1: generations per step — paper formulas vs measured (n=%d, m=%d) ===\n", g.N(), g.M())
+	measured, err := congestion.MeasureTable1(g)
+	if err != nil {
+		return err
+	}
+	fmt.Print(congestion.FormatComparison(congestion.PaperTable1(g.N()), measured))
+	fmt.Println("measured δ-groups (first sub-generation of each generation):")
+	for _, m := range measured {
+		fmt.Printf("  gen %-2d %-16s", m.Generation, m.Name)
+		if len(m.Levels) == 0 {
+			fmt.Print(" no reads")
+		}
+		for _, l := range m.Levels {
+			fmt.Printf(" %d cells @ δ=%d;", l.Cells, l.Delta)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\ndata-dependent congestion (Table 1's n̄, generations 10–11) by graph family:")
+	points, err := congestion.ShortcutStudy(g.N(), 2007)
+	if err != nil {
+		return err
+	}
+	fmt.Print(congestion.FormatStudy(points))
+	fmt.Println()
+	return nil
+}
+
+func printTable2(n int) {
+	fmt.Printf("=== Table 2: generations per step of the reference algorithm (n=%d, log n = %d) ===\n",
+		n, core.SubGenerations(n))
+	logn := core.SubGenerations(n)
+	rows := []struct {
+		step    int
+		formula string
+		count   int
+	}{
+		{1, "1", 1},
+		{2, "1 + log(n) + 1 + 1", 3 + logn},
+		{3, "1 + log(n) + 1 + 1", 3 + logn},
+		{4, "1", 1},
+		{5, "log(n)", logn},
+		{6, "1", 1},
+	}
+	fmt.Printf("%-6s %-22s %s\n", "step", "formula", "generations")
+	perIter := 0
+	for _, r := range rows {
+		fmt.Printf("%-6d %-22s %d\n", r.step, r.formula, r.count)
+		if r.step >= 2 {
+			perIter += r.count
+		}
+	}
+	fmt.Printf("steps 2–6 per iteration: %d; total = 1 + log n·(3·log n + 8) = %d\n\n",
+		perIter, core.TotalGenerations(n))
+}
+
+func printFormula(maxN int) {
+	fmt.Println("=== Section 3: total generations, formula vs executed ===")
+	fmt.Printf("%-8s %-10s %-10s %-10s\n", "n", "log n", "formula", "executed")
+	for n := 2; n <= maxN; n *= 2 {
+		g := graph.Path(n)
+		res, err := core.ConnectedComponents(g)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-8d %-10d %-10d %-10d\n",
+			n, core.SubGenerations(n), core.TotalGenerations(n), res.Generations)
+	}
+	fmt.Println()
+}
+
+func printModels(g *graph.Graph) error {
+	fmt.Printf("=== Section 4: congestion-remedy timing models (n=%d) ===\n", g.N())
+	res, err := core.Run(g, core.Options{CollectStats: true})
+	if err != nil {
+		return err
+	}
+	cmp := congestion.CompareModels(res.Records)
+	fmt.Printf("%-12s %-12s %s\n", "model", "cycles", "vs unit")
+	unit := cmp[congestion.Unit]
+	for _, m := range []congestion.Model{congestion.Unit, congestion.Replicated, congestion.Tree, congestion.Serial} {
+		fmt.Printf("%-12s %-12d %.2fx\n", m, cmp[m], float64(cmp[m])/float64(unit))
+	}
+	rowMax, colMax := congestion.PlanCongestion(g.N())
+	fmt.Printf("rotated-replication plan congestion: row plan %d, column plan %d (paper: 1)\n\n", rowMax, colMax)
+	return nil
+}
+
+func printAblation(maxN int, p float64, seed int64) error {
+	fmt.Println("=== Section 3 design space: n cells vs n² cells ===")
+	fmt.Printf("%-6s | %-10s %-12s %-12s | %-10s %-12s %-12s\n",
+		"n", "n²: cells", "generations", "cell·gens", "n: cells", "generations", "cell·gens")
+	for n := 2; n <= maxN; n *= 2 {
+		g := graph.Gnp(n, p, rand.New(rand.NewSource(seed)))
+		sq, err := core.ConnectedComponents(g)
+		if err != nil {
+			return err
+		}
+		lin, err := ncell.ConnectedComponents(g)
+		if err != nil {
+			return err
+		}
+		sqCells := n * (n + 1)
+		fmt.Printf("%-6d | %-10d %-12d %-12d | %-10d %-12d %-12d\n",
+			n, sqCells, sq.Generations, sqCells*sq.Generations,
+			n, lin.Generations, n*lin.Generations)
+		for i := range sq.Labels {
+			if sq.Labels[i] != lin.Labels[i] {
+				return fmt.Errorf("designs disagree at n=%d vertex %d", n, i)
+			}
+		}
+	}
+	fmt.Println("(both designs verified to produce identical labellings)")
+	fmt.Println()
+	return nil
+}
+
+func printNetwork() error {
+	fmt.Println("=== Section 1: concurrent reads on a butterfly network, and hashed memory mapping ===")
+	fmt.Printf("%-8s %-8s %-18s %-18s %-10s\n", "rows", "pattern", "plain cycles", "combining cycles", "merges")
+	for _, k := range []int{4, 5, 6} {
+		b := netsim.NewButterfly(k)
+		n := b.Rows()
+		allToOne := make([]netsim.Request, n)
+		for i := range allToOne {
+			allToOne[i] = netsim.Request{Source: i, Dest: 0}
+		}
+		plain, err := b.Route(allToOne, false)
+		if err != nil {
+			return err
+		}
+		comb, err := b.Route(allToOne, true)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8d %-8s %-18d %-18d %-10d\n", n, "all→one", plain.Cycles, comb.Cycles, comb.Combined)
+	}
+	fmt.Println("\nuniversal hashing: m distinct addresses onto m modules (mean hottest-module load, 40 draws):")
+	fmt.Printf("%-8s %-12s %-10s\n", "m", "avg max", "log2(m)")
+	for _, m := range []int{16, 64, 256, 1024} {
+		addrs := make([]int, m)
+		for i := range addrs {
+			addrs[i] = 7919 * i
+		}
+		avg := netsim.AverageMaxLoad(addrs, m, 40, int64(m))
+		fmt.Printf("%-8d %-12.2f %-10d\n", m, avg, core.Log2Ceil(m))
+	}
+	fmt.Println("(the paper: hashing brings congestion down only to O(log p); same-address hot spots need combining or replication)")
+	fmt.Println()
+	return nil
+}
+
+func printSynthesis(n int) {
+	fmt.Println("=== Section 4: FPGA synthesis — cost-model estimate vs published result ===")
+	fmt.Printf("paper  (n=16): %s\n", hw.PaperReference())
+	fmt.Printf("model  (n=16): %s\n", hw.Estimate(16))
+	fmt.Println("\nscaling prediction:")
+	fmt.Printf("%-6s %-8s %-8s %-12s %-14s %-10s %-12s\n",
+		"n", "cells", "width", "registers", "logic elems", "fmax MHz", "runtime µs")
+	for _, k := range []int{4, 8, 16, 32, 64, 128} {
+		s := hw.Estimate(k)
+		fmt.Printf("%-6d %-8d %-8d %-12d %-14d %-10.1f %-12.2f\n",
+			k, s.Cells, s.DataWidth, s.RegisterBits, s.LogicElements, s.FMaxMHz, hw.RuntimeMicros(k))
+	}
+	if n != 16 {
+		fmt.Printf("\nrequested n=%d: %s\n", n, hw.Estimate(n))
+	}
+	fmt.Println()
+}

@@ -1,0 +1,75 @@
+// Design space: the engineering study behind the paper's Section 3
+// decision "between n and n² cells". For a sweep of graph sizes this
+// example runs both GCA designs, the RTL-level hardware model and the
+// PRAM reference, and prints the cost picture a hardware architect would
+// look at: cells, synchronous generations, cell·generation work, modelled
+// FPGA resources and runtime.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"gcacc"
+	"gcacc/internal/core"
+	"gcacc/internal/hw"
+	"gcacc/internal/ncell"
+	"gcacc/internal/pram"
+)
+
+func main() {
+	fmt.Println("design-space study: Hirschberg connected components, G(n, 0.5)")
+	fmt.Println()
+	fmt.Printf("%-5s | %-22s | %-22s | %-14s | %-22s\n",
+		"n", "n²-cell GCA (paper)", "n-cell GCA", "PRAM steps", "modelled FPGA (n² design)")
+	fmt.Printf("%-5s | %-10s %-11s | %-10s %-11s | %-14s | %-12s %-9s\n",
+		"", "gens", "cell·gens", "gens", "cell·gens", "", "LEs", "runtime")
+
+	for n := 4; n <= 128; n *= 2 {
+		g := gcacc.NewGraph(n)
+		rng := rand.New(rand.NewSource(2007))
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.5 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+
+		sq, err := core.ConnectedComponents(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lin, err := ncell.ConnectedComponents(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pr, err := pram.Hirschberg(g, pram.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range sq.Labels {
+			if sq.Labels[i] != lin.Labels[i] || sq.Labels[i] != pr.Labels[i] {
+				log.Fatalf("models disagree at n=%d vertex %d", n, i)
+			}
+		}
+
+		syn := hw.Estimate(n)
+		sqCells := n * (n + 1)
+		fmt.Printf("%-5d | %-10d %-11d | %-10d %-11d | %-14d | %-12d %6.2f µs\n",
+			n, sq.Generations, sqCells*sq.Generations,
+			lin.Generations, n*lin.Generations,
+			pr.Costs.Steps, syn.LogicElements, hw.RuntimeMicros(n))
+	}
+
+	fmt.Println()
+	fmt.Println("reading the table:")
+	fmt.Println("  - the n²-cell design pays Θ(n²) cells for Θ(log² n) generations —")
+	fmt.Println("    the paper's choice, 'the highest degree of parallelism';")
+	fmt.Println("  - the n-cell design pays Θ(n) cells for Θ(n log n) generations and")
+	fmt.Println("    needs no congestion remedies (its scans have δ = 1 by construction);")
+	fmt.Println("  - in total cell·generation work the n-cell design is cheaper, but the")
+	fmt.Println("    paper's Section-3 point is that on an FPGA a cell costs little more")
+	fmt.Println("    than its registers, so the n²-cell design's wall-clock win is free.")
+}

@@ -1,0 +1,217 @@
+// Package gcacc is a from-scratch Go reproduction of "Implementing
+// Hirschberg's PRAM-Algorithm for Connected Components on a Global
+// Cellular Automaton" (Jendrsczok, Hoffmann, Keller; IPDPS 2007).
+//
+// It provides:
+//
+//   - a Global Cellular Automaton (GCA) machine model with parallel
+//     stepping and congestion instrumentation (internal/gca);
+//   - the paper's 12-generation connected-components program
+//     (internal/core);
+//   - a CREW/CROW/EREW PRAM simulator running the reference algorithm of
+//     the paper's Listing 1 (internal/pram);
+//   - graph workloads and sequential baselines (internal/graph);
+//   - the paper's congestion account (Table 1), timing models and the
+//     Section-4 replication scheme (internal/congestion);
+//   - an FPGA cost model reproducing the Section-4 synthesis result
+//     (internal/hw);
+//   - access-pattern tracing and rendering (Figure 3) (internal/trace).
+//
+// This root package is the convenience facade: one call computes the
+// connected components of an undirected graph on the simulated GCA, with
+// optional instrumentation. Binaries under cmd/ regenerate every table and
+// figure of the paper; see DESIGN.md and EXPERIMENTS.md.
+package gcacc
+
+import (
+	"gcacc/internal/core"
+	"gcacc/internal/graph"
+	"gcacc/internal/hw"
+	"gcacc/internal/msf"
+	"gcacc/internal/ncell"
+	"gcacc/internal/pram"
+	"gcacc/internal/tc"
+)
+
+// Graph is an undirected graph over vertices 0…n-1 backed by a dense
+// adjacency bit-matrix (the paper's input representation).
+type Graph = graph.Graph
+
+// NewGraph returns an empty graph with n vertices.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// Engine selects which implementation computes the components.
+type Engine int
+
+const (
+	// EngineGCA runs the paper's 12-generation Global Cellular Automaton
+	// program — the default.
+	EngineGCA Engine = iota
+	// EnginePRAM runs the reference algorithm (Listing 1) on the CROW
+	// PRAM simulator.
+	EnginePRAM
+	// EngineSequential runs the union-find baseline.
+	EngineSequential
+	// EngineNCell runs the n-cell GCA design alternative (one cell per
+	// node, Θ(n log n) generations) that the paper's Section 3 weighs
+	// against the n²-cell design.
+	EngineNCell
+	// EngineHardware runs the register-transfer-level cell-array model of
+	// the Section-4 hardware (static per-generation wiring plus n
+	// extended cells).
+	EngineHardware
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineGCA:
+		return "gca"
+	case EnginePRAM:
+		return "pram"
+	case EngineSequential:
+		return "sequential"
+	case EngineNCell:
+		return "ncell"
+	case EngineHardware:
+		return "hardware"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures ConnectedComponentsWith.
+type Options struct {
+	// Engine selects the implementation (default EngineGCA).
+	Engine Engine
+	// Workers is the number of simulator goroutines (GCA engine);
+	// < 1 selects GOMAXPROCS.
+	Workers int
+	// CollectStats gathers per-generation activity and congestion
+	// records (GCA engine).
+	CollectStats bool
+}
+
+// Report is the detailed result of a run.
+type Report struct {
+	// Labels maps each vertex to the smallest vertex index in its
+	// component (the paper's super-node convention).
+	Labels []int
+	// Components is the number of connected components.
+	Components int
+	// Generations is the number of synchronous GCA steps executed
+	// (GCA engine only).
+	Generations int
+	// PRAMSteps is the number of synchronous PRAM steps (PRAM engine
+	// only).
+	PRAMSteps int
+	// Records holds per-generation instrumentation when CollectStats was
+	// set (GCA engine only).
+	Records []core.GenRecord
+}
+
+// ConnectedComponents labels the connected components of g on the
+// simulated GCA and returns the super-node label of every vertex.
+func ConnectedComponents(g *Graph) ([]int, error) {
+	res, err := core.ConnectedComponents(g)
+	if err != nil {
+		return nil, err
+	}
+	return res.Labels, nil
+}
+
+// ConnectedComponentsWith computes components with explicit options and a
+// detailed report.
+func ConnectedComponentsWith(g *Graph, opt Options) (*Report, error) {
+	switch opt.Engine {
+	case EnginePRAM:
+		res, err := pram.Hirschberg(g, pram.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return &Report{
+			Labels:     res.Labels,
+			Components: graph.ComponentCount(res.Labels),
+			PRAMSteps:  res.Costs.Steps,
+		}, nil
+	case EngineSequential:
+		labels := graph.ConnectedComponentsUnionFind(g)
+		return &Report{Labels: labels, Components: graph.ComponentCount(labels)}, nil
+	case EngineNCell:
+		res, err := ncell.Run(g, ncell.Options{Workers: opt.Workers})
+		if err != nil {
+			return nil, err
+		}
+		return &Report{
+			Labels:      res.Labels,
+			Components:  graph.ComponentCount(res.Labels),
+			Generations: res.Generations,
+		}, nil
+	case EngineHardware:
+		ca := hw.NewCellArray(g)
+		labels, err := ca.Run()
+		if err != nil {
+			return nil, err
+		}
+		return &Report{
+			Labels:      labels,
+			Components:  graph.ComponentCount(labels),
+			Generations: ca.Cycles,
+		}, nil
+	default:
+		res, err := core.Run(g, core.Options{
+			Workers:      opt.Workers,
+			CollectStats: opt.CollectStats,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Report{
+			Labels:      res.Labels,
+			Components:  res.ComponentCount(),
+			Generations: res.Generations,
+			Records:     res.Records,
+		}, nil
+	}
+}
+
+// TotalGenerations returns the paper's closed-form generation count for a
+// graph of size n: 1 + log n · (3·log n + 8).
+func TotalGenerations(n int) int { return core.TotalGenerations(n) }
+
+// Closure is a reflexive-transitive closure of an undirected graph —
+// the companion problem of Hirschberg's original paper, computed here on
+// the two-handed GCA (see internal/tc).
+type Closure = tc.Closure
+
+// TransitiveClosure computes the reflexive-transitive closure of g on the
+// two-handed GCA by repeated boolean matrix squaring.
+func TransitiveClosure(g *Graph) (*Closure, error) {
+	res, err := tc.GCA(g, tc.GCAOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Closure, nil
+}
+
+// WeightedGraph is an undirected graph with positive integer edge
+// weights.
+type WeightedGraph = graph.Weighted
+
+// NewWeightedGraph returns an edgeless weighted graph on n vertices.
+func NewWeightedGraph(n int) *WeightedGraph { return graph.NewWeighted(n) }
+
+// MSF is a minimum spanning forest (edge set and total weight).
+type MSF = graph.MSF
+
+// MinimumSpanningForest computes the minimum spanning forest of a
+// weighted graph with Borůvka's algorithm mapped onto the GCA (see
+// internal/msf) — one Borůvka round costs exactly the paper's
+// 3·log n + 8 generations.
+func MinimumSpanningForest(g *WeightedGraph) (*MSF, error) {
+	res, err := msf.Run(g, msf.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return res.MSF, nil
+}

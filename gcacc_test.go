@@ -1,0 +1,122 @@
+package gcacc
+
+import (
+	"math/rand"
+	"testing"
+
+	"gcacc/internal/graph"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	g := NewGraph(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(4, 5)
+	labels, err := ConnectedComponents(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 0, 3, 4, 4}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
+	}
+}
+
+func TestAllEnginesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(24)
+		g := graph.Gnp(n, rng.Float64()/2, rng)
+		engines := []Engine{EngineGCA, EnginePRAM, EngineSequential, EngineNCell, EngineHardware}
+		var results [][]int
+		for _, e := range engines {
+			rep, err := ConnectedComponentsWith(g, Options{Engine: e})
+			if err != nil {
+				t.Fatalf("%s: %v", e, err)
+			}
+			results = append(results, rep.Labels)
+		}
+		for i := 0; i < n; i++ {
+			for e := 1; e < len(results); e++ {
+				if results[0][i] != results[e][i] {
+					t.Fatalf("trial %d: engine %s disagrees with gca at vertex %d: %d vs %d",
+						trial, engines[e], i, results[e][i], results[0][i])
+				}
+			}
+		}
+	}
+}
+
+func TestReportFields(t *testing.T) {
+	g := NewGraph(8)
+	g.AddEdge(0, 7)
+	rep, err := ConnectedComponentsWith(g, Options{CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Components != 7 {
+		t.Fatalf("Components = %d, want 7", rep.Components)
+	}
+	if rep.Generations != TotalGenerations(8) {
+		t.Fatalf("Generations = %d, want %d", rep.Generations, TotalGenerations(8))
+	}
+	if len(rep.Records) != rep.Generations {
+		t.Fatalf("Records = %d, want %d", len(rep.Records), rep.Generations)
+	}
+
+	prep, err := ConnectedComponentsWith(g, Options{Engine: EnginePRAM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep.PRAMSteps == 0 {
+		t.Fatal("PRAM report missing step count")
+	}
+}
+
+func TestTransitiveClosureFacade(t *testing.T) {
+	g := NewGraph(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	c, err := TransitiveClosure(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Reachable(0, 2) || !c.Reachable(2, 0) || !c.Reachable(3, 3) {
+		t.Fatal("closure missing reachability")
+	}
+	if c.Reachable(0, 3) {
+		t.Fatal("closure connects separate components")
+	}
+	labels := c.ComponentLabels()
+	want := graph.ConnectedComponentsUnionFind(g)
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("closure labels %v, want %v", labels, want)
+		}
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	if EngineGCA.String() != "gca" || EnginePRAM.String() != "pram" ||
+		EngineSequential.String() != "sequential" || EngineNCell.String() != "ncell" ||
+		EngineHardware.String() != "hardware" || Engine(9).String() != "unknown" {
+		t.Fatal("engine names wrong")
+	}
+}
+
+func TestMinimumSpanningForestFacade(t *testing.T) {
+	g := NewWeightedGraph(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(0, 2, 9)
+	g.AddEdge(2, 3, 1)
+	f, err := MinimumSpanningForest(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Weight != 8 || len(f.Edges) != 3 {
+		t.Fatalf("MSF = %+v, want weight 8 with 3 edges", f)
+	}
+}

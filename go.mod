@@ -1,0 +1,3 @@
+module gcacc
+
+go 1.22

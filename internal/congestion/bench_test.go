@@ -1,0 +1,36 @@
+package congestion
+
+import (
+	"math/rand"
+	"testing"
+
+	"gcacc/internal/core"
+	"gcacc/internal/graph"
+)
+
+func BenchmarkMeasureTable1(b *testing.B) {
+	g := graph.Gnp(32, 0.5, rand.New(rand.NewSource(1)))
+	for i := 0; i < b.N; i++ {
+		if _, err := MeasureTable1(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCyclesModels(b *testing.B) {
+	g := graph.Gnp(32, 0.5, rand.New(rand.NewSource(2)))
+	res, err := core.Run(g, core.Options{CollectStats: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CompareModels(res.Records)
+	}
+}
+
+func BenchmarkPlanCongestion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		PlanCongestion(64)
+	}
+}

@@ -1,0 +1,303 @@
+package congestion
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gcacc/internal/core"
+	"gcacc/internal/graph"
+)
+
+func TestPaperTable1Shape(t *testing.T) {
+	rows := PaperTable1(16)
+	if len(rows) != 12 {
+		t.Fatalf("%d rows, want 12", len(rows))
+	}
+	for i, r := range rows {
+		if r.Generation != i {
+			t.Errorf("row %d has generation %d", i, r.Generation)
+		}
+	}
+	// Spot-check the published formulas at n = 16.
+	if rows[0].Active != 16*17 {
+		t.Errorf("gen 0 active = %d, want 272", rows[0].Active)
+	}
+	if rows[1].Groups[0].Cells != 16 || rows[1].Groups[0].Delta != 17 {
+		t.Errorf("gen 1 group = %+v, want 16 cells @ δ=17", rows[1].Groups[0])
+	}
+	if rows[2].Groups[0].Delta != 16 {
+		t.Errorf("gen 2 δ = %d, want 16", rows[2].Groups[0].Delta)
+	}
+	if rows[3].SubGenerations != 4 {
+		t.Errorf("gen 3 subs = %d, want 4", rows[3].SubGenerations)
+	}
+	if rows[9].Active != 15*15 {
+		t.Errorf("gen 9 active = %d, want 225", rows[9].Active)
+	}
+	if !rows[10].Groups[0].DataDependent || !rows[11].Groups[0].DataDependent {
+		t.Error("generations 10/11 must be marked data-dependent")
+	}
+	// Generations 5–8 mirror 1–4 ("see gen. 1" etc.).
+	for d := 0; d < 4; d++ {
+		a, b := rows[1+d], rows[5+d]
+		if a.Active != b.Active || len(a.Groups) != len(b.Groups) {
+			t.Errorf("gen %d does not mirror gen %d", 5+d, 1+d)
+		}
+		for gi := range a.Groups {
+			if a.Groups[gi] != b.Groups[gi] {
+				t.Errorf("gen %d group %d differs from gen %d", 5+d, gi, 1+d)
+			}
+		}
+	}
+}
+
+// TestMeasuredMatchesPaperStructural verifies the data-independent entries
+// of Table 1 exactly: the congestion of generations 1, 2, 4, 5, 6, 8 and 9
+// and the δ=1 property of the reductions are structural facts of the
+// access patterns, independent of the graph.
+func TestMeasuredMatchesPaperStructural(t *testing.T) {
+	for _, n := range []int{4, 8, 16} {
+		g := graph.Gnp(n, 0.4, rand.New(rand.NewSource(int64(n))))
+		measured, err := MeasureTable1(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byGen := map[int]MeasuredRow{}
+		for _, m := range measured {
+			byGen[m.Generation] = m
+		}
+		// Generation 1 and 5: the n column-0 cells are read by n+1 cells
+		// each.
+		for _, gen := range []int{core.GenCopyC, core.GenCopyT} {
+			m := byGen[gen]
+			if m.MaxDelta != n+1 {
+				t.Errorf("n=%d gen %d: maxδ = %d, want %d", n, gen, m.MaxDelta, n+1)
+			}
+			if len(m.Levels) != 1 || m.Levels[0].Delta != n+1 || m.Levels[0].Cells != n {
+				t.Errorf("n=%d gen %d: levels = %v, want [{%d %d}]", n, gen, m.Levels, n+1, n)
+			}
+			if m.ReadsTotal != n*(n+1) {
+				t.Errorf("n=%d gen %d: reads = %d, want %d", n, gen, m.ReadsTotal, n*(n+1))
+			}
+		}
+		// Generations 2 and 6: the n bottom-row cells are read by the n
+		// cells of their column/row.
+		for _, gen := range []int{core.GenMaskAdj, core.GenMaskComp} {
+			m := byGen[gen]
+			if m.MaxDelta != n {
+				t.Errorf("n=%d gen %d: maxδ = %d, want %d", n, gen, m.MaxDelta, n)
+			}
+			if len(m.Levels) != 1 || m.Levels[0].Delta != n || m.Levels[0].Cells != n {
+				t.Errorf("n=%d gen %d: levels = %v", n, gen, m.Levels)
+			}
+			if m.ReadsTotal != n*n {
+				t.Errorf("n=%d gen %d: reads = %d, want %d", n, gen, m.ReadsTotal, n*n)
+			}
+		}
+		// Generations 3 and 7: tree reduction, congestion exactly 1;
+		// reads total Σ_s n(n − 2^s).
+		wantReduceReads := 0
+		for s := 0; s < core.SubGenerations(n); s++ {
+			wantReduceReads += n * (n - 1<<uint(s))
+		}
+		for _, gen := range []int{core.GenReduceT, core.GenReduceT2} {
+			m := byGen[gen]
+			if m.MaxDelta != 1 {
+				t.Errorf("n=%d gen %d: maxδ = %d, want 1", n, gen, m.MaxDelta)
+			}
+			if m.ReadsTotal != wantReduceReads {
+				t.Errorf("n=%d gen %d: reads = %d, want %d", n, gen, m.ReadsTotal, wantReduceReads)
+			}
+			if m.SubGenerations != core.SubGenerations(n) {
+				t.Errorf("n=%d gen %d: %d subs", n, gen, m.SubGenerations)
+			}
+		}
+		// Generations 4 and 8: the first column reads D_N once each.
+		for _, gen := range []int{core.GenDefaultT, core.GenDefaultT2} {
+			m := byGen[gen]
+			if m.MaxDelta != 1 || m.ReadsTotal != n {
+				t.Errorf("n=%d gen %d: maxδ=%d reads=%d, want 1/%d", n, gen, m.MaxDelta, m.ReadsTotal, n)
+			}
+		}
+		// Generation 9: column-0 cells read by the other n−1 row cells.
+		m := byGen[core.GenSpread]
+		if m.MaxDelta != n-1 || m.ReadsTotal != n*(n-1) {
+			t.Errorf("n=%d gen 9: maxδ=%d reads=%d, want %d/%d", n, m.MaxDelta, m.ReadsTotal, n-1, n*(n-1))
+		}
+		// Generations 10 and 11: n reads, data-dependent congestion ≤ n.
+		for _, gen := range []int{core.GenShortcut, core.GenFinalMin} {
+			m := byGen[gen]
+			if m.MaxDelta > n {
+				t.Errorf("n=%d gen %d: maxδ = %d exceeds n", n, gen, m.MaxDelta)
+			}
+			if m.ReadsTotal != n*m.SubGenerations {
+				t.Errorf("n=%d gen %d: reads = %d, want %d", n, gen, m.ReadsTotal, n*m.SubGenerations)
+			}
+		}
+	}
+}
+
+func TestShortcutWorstCaseCongestion(t *testing.T) {
+	// A star reaches the paper's worst case: after hooking, every node
+	// points at the centre's component, so generation 10 reads one cell
+	// n times (δ = n̄ ≈ n).
+	n := 16
+	measured, err := MeasureTable1(graph.Star(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m MeasuredRow
+	for _, row := range measured {
+		if row.Generation == core.GenShortcut {
+			m = row
+		}
+	}
+	if m.MaxDelta < n-1 {
+		t.Fatalf("star shortcut congestion = %d, want ≥ %d", m.MaxDelta, n-1)
+	}
+}
+
+func TestAggregateFirstIterationStopsAtIterationOne(t *testing.T) {
+	g := graph.Path(8)
+	res, err := core.Run(g, core.Options{CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := AggregateFirstIteration(res)
+	if len(rows) != 12 {
+		t.Fatalf("%d rows, want 12", len(rows))
+	}
+	// Generation 3 must count only the first iteration's sub-generations.
+	for _, r := range rows {
+		if r.Generation == core.GenReduceT && r.SubGenerations != core.SubGenerations(8) {
+			t.Fatalf("gen 3 subs = %d, want %d", r.SubGenerations, core.SubGenerations(8))
+		}
+	}
+}
+
+func TestStepCycles(t *testing.T) {
+	if StepCycles(Unit, 2, 16) != 1 {
+		t.Error("unit model must charge 1")
+	}
+	if StepCycles(Serial, 2, 16) != 16 {
+		t.Error("serial model must charge δ")
+	}
+	if StepCycles(Serial, 2, 0) != 1 {
+		t.Error("serial model must charge ≥ 1")
+	}
+	if StepCycles(Tree, 2, 16) != 5 {
+		t.Errorf("tree model charged %d, want 5", StepCycles(Tree, 2, 16))
+	}
+	if StepCycles(Tree, 2, 1) != 1 {
+		t.Error("tree model with δ=1 must charge 1")
+	}
+	if StepCycles(Replicated, core.GenMaskAdj, 16) != 1 {
+		t.Error("replicated model must charge 1 for static generations")
+	}
+	if StepCycles(Replicated, core.GenShortcut, 16) != 5 {
+		t.Error("replicated model must fall back to tree for generation 10")
+	}
+}
+
+func TestCyclesOrdering(t *testing.T) {
+	// Over a full run: unit ≤ replicated ≤ tree ≤ serial.
+	g := graph.Gnp(16, 0.3, rand.New(rand.NewSource(7)))
+	res, err := core.Run(g, core.Options{CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := CompareModels(res.Records)
+	if !(c[Unit] <= c[Replicated] && c[Replicated] <= c[Tree] && c[Tree] <= c[Serial]) {
+		t.Fatalf("model ordering violated: %v", c)
+	}
+	if c[Unit] != int64(res.Generations) {
+		t.Fatalf("unit cycles = %d, want %d", c[Unit], res.Generations)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	names := map[Model]string{Unit: "unit", Serial: "serial", Tree: "tree", Replicated: "replicated"}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("%v", m)
+		}
+	}
+	if Model(42).String() != "Model(42)" {
+		t.Error("unknown model string")
+	}
+}
+
+func TestReplicationPlans(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 16, 33} {
+		if !PlanCorrect(n) {
+			t.Errorf("n=%d: replication plan delivers wrong values", n)
+		}
+		rowMax, colMax := PlanCongestion(n)
+		if rowMax != 1 || colMax != 1 {
+			t.Errorf("n=%d: plan congestion = %d/%d, want 1/1", n, rowMax, colMax)
+		}
+	}
+}
+
+func TestReplicaValueRotation(t *testing.T) {
+	// Row r is C rotated right by r: position (r, r) holds C(0).
+	for _, n := range []int{4, 5} {
+		for r := 0; r < n; r++ {
+			if ReplicaValue(n, r, r) != 0 {
+				t.Errorf("n=%d: ReplicaValue(%d,%d) = %d, want 0", n, r, r, ReplicaValue(n, r, r))
+			}
+		}
+	}
+}
+
+func TestFormatComparison(t *testing.T) {
+	g := graph.Path(4)
+	measured, err := MeasureTable1(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatComparison(PaperTable1(4), measured)
+	if !strings.Contains(out, "mask-adjacency") || !strings.Contains(out, "δ=") {
+		t.Fatalf("comparison table missing content:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 13 { // header + 12 rows
+		t.Fatalf("comparison table has %d lines, want 13", got)
+	}
+}
+
+func TestShortcutStudy(t *testing.T) {
+	points, err := ShortcutStudy(16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 9 {
+		t.Fatalf("%d study points, want 9", len(points))
+	}
+	byFamily := map[string]StudyPoint{}
+	for _, p := range points {
+		if p.MaxDelta10 > 16 || p.MaxDelta11 > 16 {
+			t.Fatalf("%s: congestion exceeds n: %+v", p.Family, p)
+		}
+		byFamily[p.Family] = p
+	}
+	// The empty graph never chases pointers beyond self-reads of C(i);
+	// every cell points to itself, so each column-0 cell is read once.
+	if byFamily["empty"].MaxDelta10 > 1 {
+		t.Fatalf("empty graph shortcut congestion = %d", byFamily["empty"].MaxDelta10)
+	}
+	// The star is the adversarial case: everything converges on cell 0.
+	if byFamily["star"].MaxDelta10 < 15 {
+		t.Fatalf("star shortcut congestion = %d, want ≥ 15", byFamily["star"].MaxDelta10)
+	}
+	// Sorted by descending generation-10 congestion.
+	for i := 1; i < len(points); i++ {
+		if points[i].MaxDelta10 > points[i-1].MaxDelta10 {
+			t.Fatal("study not sorted")
+		}
+	}
+	out := FormatStudy(points)
+	if !strings.Contains(out, "star") || !strings.Contains(out, "maxδ gen 10") {
+		t.Fatalf("study table missing content:\n%s", out)
+	}
+}

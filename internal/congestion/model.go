@@ -1,0 +1,103 @@
+package congestion
+
+import (
+	"fmt"
+
+	"gcacc/internal/core"
+)
+
+// Model is a timing model for implementing the concurrent reads of one
+// synchronous generation, following the paper's Section 4 discussion: "the
+// static nature of the communication can be used to either implement the
+// concurrent reads in a tree-like manner, or to use replication for arrays
+// C and T to get congestion down to 1."
+type Model int
+
+const (
+	// Unit charges one cycle per generation regardless of congestion —
+	// the fully parallel hardware of Section 4, where fan-out is wired
+	// combinationally ("each generation can be calculated in one step").
+	Unit Model = iota
+	// Serial charges max(1, δmax) cycles per generation: every concurrent
+	// read of the hottest cell is serialised, the lower bound the paper's
+	// Section 1 derives for PRAM emulation on distributed memory.
+	Serial
+	// Tree charges 1 + ⌈log₂ δmax⌉ cycles: concurrent reads are served
+	// through a replication/broadcast tree.
+	Tree
+	// Replicated charges one cycle per generation like Unit, but models
+	// the Section-4 rotated-replication scheme: it is only admissible for
+	// the statically known access patterns (generations 1–9); the
+	// data-dependent generations 10–11 fall back to Tree.
+	Replicated
+)
+
+// String returns the model name.
+func (m Model) String() string {
+	switch m {
+	case Unit:
+		return "unit"
+	case Serial:
+		return "serial"
+	case Tree:
+		return "tree"
+	case Replicated:
+		return "replicated"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// log2CeilInt returns ⌈log₂ x⌉ for x ≥ 1.
+func log2CeilInt(x int) int {
+	k, p := 0, 1
+	for p < x {
+		p <<= 1
+		k++
+	}
+	return k
+}
+
+// StepCycles returns the cycle cost of one committed generation with the
+// given maximum congestion under the model.
+func StepCycles(m Model, generation, maxDelta int) int64 {
+	if maxDelta < 1 {
+		maxDelta = 1
+	}
+	switch m {
+	case Unit:
+		return 1
+	case Serial:
+		return int64(maxDelta)
+	case Tree:
+		return 1 + int64(log2CeilInt(maxDelta))
+	case Replicated:
+		if generation == core.GenShortcut || generation == core.GenFinalMin {
+			// Data-dependent pointers cannot be pre-rotated.
+			return 1 + int64(log2CeilInt(maxDelta))
+		}
+		return 1
+	default:
+		panic(fmt.Sprintf("congestion: unknown model %d", int(m)))
+	}
+}
+
+// Cycles totals the cycle cost of an instrumented run under the model.
+// The records must come from a run with Options.CollectStats set.
+func Cycles(records []core.GenRecord, m Model) int64 {
+	var total int64
+	for _, r := range records {
+		total += StepCycles(m, r.Generation, r.MaxDelta)
+	}
+	return total
+}
+
+// CompareModels returns the total cycles of an instrumented run under
+// every model, keyed by model.
+func CompareModels(records []core.GenRecord) map[Model]int64 {
+	out := make(map[Model]int64, 4)
+	for _, m := range []Model{Unit, Serial, Tree, Replicated} {
+		out[m] = Cycles(records, m)
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package congestion
+
+// The paper's Section 4 sketches how to eliminate read congestion for the
+// hot generations: "For example, in the second step, each cell (i, j)
+// accesses C(i) and C(j). If the array C is replicated in each row,
+// rotated by i positions in row i, then all cells in row i could access
+// all the C(i) values in this row, and each cell of this row could access
+// the C(i) value in its column."
+//
+// This file makes the scheme concrete and machine-checkable:
+//
+//   - a replica plane holds, at position (r, c), the value C((c − r) mod n)
+//     — row r is the C array rotated right by r positions;
+//   - cell (i, j) finds C(j) inside its own row i at column (i + j) mod n
+//     (row plan);
+//   - cell (i, j) finds C(i) inside its own column j at row (j − i) mod n
+//     (column plan).
+//
+// Both plans are bijections per row/column, so every replica cell serves
+// exactly one reader — congestion 1, at the price of making every cell an
+// "extended" cell (a data/position-addressed multiplexer), which the
+// Section-4 discussion and the hw package's cost model account for.
+
+// ReplicaValue returns which C index the replica plane stores at (row,
+// col): (col − row) mod n.
+func ReplicaValue(n, row, col int) int {
+	v := (col - row) % n
+	if v < 0 {
+		v += n
+	}
+	return v
+}
+
+// RowPlan returns the replica coordinates where cell (i, j) reads C(j):
+// its own row, column (i + j) mod n.
+func RowPlan(n, i, j int) (row, col int) {
+	return i, (i + j) % n
+}
+
+// ColPlan returns the replica coordinates where cell (i, j) reads C(i):
+// its own column, row (j − i) mod n.
+func ColPlan(n, i, j int) (row, col int) {
+	r := (j - i) % n
+	if r < 0 {
+		r += n
+	}
+	return r, j
+}
+
+// PlanCongestion simulates both read plans for all n² cells and returns
+// the maximum number of readers any replica cell receives in each plan.
+// The paper's claim is that both are exactly 1.
+func PlanCongestion(n int) (rowPlanMax, colPlanMax int) {
+	if n == 0 {
+		return 0, 0
+	}
+	rowReads := make([]int, n*n)
+	colReads := make([]int, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			r, c := RowPlan(n, i, j)
+			rowReads[r*n+c]++
+			r, c = ColPlan(n, i, j)
+			colReads[r*n+c]++
+		}
+	}
+	for k := 0; k < n*n; k++ {
+		if rowReads[k] > rowPlanMax {
+			rowPlanMax = rowReads[k]
+		}
+		if colReads[k] > colPlanMax {
+			colPlanMax = colReads[k]
+		}
+	}
+	return rowPlanMax, colPlanMax
+}
+
+// PlanCorrect verifies that both plans deliver the values the generation-2
+// access pattern needs: the row plan yields C(j) and the column plan
+// yields C(i) for every cell (i, j).
+func PlanCorrect(n int) bool {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if r, c := RowPlan(n, i, j); ReplicaValue(n, r, c) != j {
+				return false
+			}
+			if r, c := ColPlan(n, i, j); ReplicaValue(n, r, c) != i {
+				return false
+			}
+		}
+	}
+	return true
+}

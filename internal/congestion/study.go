@@ -1,0 +1,87 @@
+package congestion
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"gcacc/internal/core"
+	"gcacc/internal/graph"
+)
+
+// Table 1 marks the congestion of generations 10 and 11 as data-dependent
+// (the n̄ entry): how many of the n pointer-chasing cells converge on the
+// same column-0 cell depends on the component structure. This file turns
+// that footnote into an experiment: the distribution of the observed
+// maximum δ across graph families and sizes.
+
+// StudyPoint is the shortcut-congestion measurement for one graph.
+type StudyPoint struct {
+	Family string
+	N      int
+	// MaxDelta10 and MaxDelta11 are the maximum read congestion observed
+	// in any sub-generation of generations 10 and 11 over the whole run.
+	MaxDelta10 int
+	MaxDelta11 int
+}
+
+// MeasureShortcutCongestion runs the program and extracts the maxima of
+// the two data-dependent generations over all iterations.
+func MeasureShortcutCongestion(g *graph.Graph) (d10, d11 int, err error) {
+	res, err := core.Run(g, core.Options{CollectStats: true})
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, rec := range res.Records {
+		switch rec.Generation {
+		case core.GenShortcut:
+			if rec.MaxDelta > d10 {
+				d10 = rec.MaxDelta
+			}
+		case core.GenFinalMin:
+			if rec.MaxDelta > d11 {
+				d11 = rec.MaxDelta
+			}
+		}
+	}
+	return d10, d11, nil
+}
+
+// ShortcutStudy measures the data-dependent congestion across the
+// standard graph families at one size. Random families use the seed.
+func ShortcutStudy(n int, seed int64) ([]StudyPoint, error) {
+	rng := rand.New(rand.NewSource(seed))
+	families := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"empty", graph.Empty(n)},
+		{"matching", graph.MatchingChain(n)},
+		{"path", graph.Path(n)},
+		{"cycle", graph.Cycle(n)},
+		{"star", graph.Star(n)},
+		{"complete", graph.Complete(n)},
+		{"gnp-sparse", graph.Gnp(n, 2.0/float64(n), rng)},
+		{"gnp-dense", graph.Gnp(n, 0.5, rng)},
+		{"binary-tree", graph.BinaryTree(n)},
+	}
+	points := make([]StudyPoint, 0, len(families))
+	for _, f := range families {
+		d10, d11, err := MeasureShortcutCongestion(f.g)
+		if err != nil {
+			return nil, fmt.Errorf("congestion: family %s: %w", f.name, err)
+		}
+		points = append(points, StudyPoint{Family: f.name, N: n, MaxDelta10: d10, MaxDelta11: d11})
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].MaxDelta10 > points[j].MaxDelta10 })
+	return points, nil
+}
+
+// FormatStudy renders the study as a fixed-width table.
+func FormatStudy(points []StudyPoint) string {
+	out := fmt.Sprintf("%-12s %-6s %-14s %-14s\n", "family", "n", "maxδ gen 10", "maxδ gen 11")
+	for _, p := range points {
+		out += fmt.Sprintf("%-12s %-6d %-14d %-14d\n", p.Family, p.N, p.MaxDelta10, p.MaxDelta11)
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+// Package congestion reproduces the paper's congestion analysis: the
+// formula-level account of Table 1 (active cells, cells with read access,
+// and concurrent read accesses δ per generation), measured counterparts
+// gathered from instrumented GCA runs, and the Section-4 remedies — serial,
+// tree-structured and replicated implementations of concurrent reads.
+package congestion
+
+import (
+	"fmt"
+
+	"gcacc/internal/core"
+	"gcacc/internal/gca"
+	"gcacc/internal/graph"
+)
+
+// Group is one "# cells with read access / δ" pair of Table 1: Cells cells
+// are each read by Delta concurrent readers during the generation.
+type Group struct {
+	// Cells is the number of target cells in this group.
+	Cells int
+	// Delta is the number of concurrent read accesses each receives.
+	Delta int
+	// DataDependent marks entries the paper itself qualifies (the n̄ of
+	// generation 11, and the worst-case n of generation 10): the actual
+	// value depends on the graph; the formula is an upper bound.
+	DataDependent bool
+}
+
+// Row is one generation row of Table 1, with the paper's formulas
+// evaluated at a concrete n.
+type Row struct {
+	// Step is the reference-algorithm step (1–6).
+	Step int
+	// Generation is the GCA generation id (0–11).
+	Generation int
+	// Name is the human-readable generation label.
+	Name string
+	// SubGenerations is the number of sub-generations (log n for the
+	// reductions and the shortcut, 1 otherwise).
+	SubGenerations int
+	// Active is the paper's "active cells" formula evaluated at n.
+	Active int
+	// ActiveFormula is the symbolic form printed in the paper.
+	ActiveFormula string
+	// Groups are the read-access groups with δ > 0. Cells not listed are
+	// not read (δ = 0).
+	Groups []Group
+}
+
+// PaperTable1 evaluates the formulas of the paper's Table 1 for a given n.
+// The layout follows the paper: one row per generation, generations 5–8
+// repeating the entries of 1–4.
+func PaperTable1(n int) []Row {
+	logn := core.SubGenerations(n)
+	rows := []Row{
+		{Step: 1, Generation: 0, SubGenerations: 1,
+			Active: n * (n + 1), ActiveFormula: "n(n+1)",
+			Groups: nil},
+		{Step: 2, Generation: 1, SubGenerations: 1,
+			Active: n * (n + 1), ActiveFormula: "n(n+1)",
+			Groups: []Group{{Cells: n, Delta: n + 1}}},
+		{Step: 2, Generation: 2, SubGenerations: 1,
+			Active: n * n, ActiveFormula: "n^2",
+			Groups: []Group{{Cells: n, Delta: n}}},
+		{Step: 2, Generation: 3, SubGenerations: logn,
+			Active: n * n / 2, ActiveFormula: "n^2/2",
+			Groups: []Group{{Cells: (n - 1) * (n - 1), Delta: 1}}},
+		{Step: 2, Generation: 4, SubGenerations: 1,
+			Active: n, ActiveFormula: "n",
+			Groups: []Group{{Cells: n, Delta: 1}}},
+		{Step: 3, Generation: 5, SubGenerations: 1,
+			Active: n * (n + 1), ActiveFormula: "n(n+1)",
+			Groups: []Group{{Cells: n, Delta: n + 1}}},
+		{Step: 3, Generation: 6, SubGenerations: 1,
+			Active: n * n, ActiveFormula: "n^2",
+			Groups: []Group{{Cells: n, Delta: n}}},
+		{Step: 3, Generation: 7, SubGenerations: logn,
+			Active: n * n / 2, ActiveFormula: "n^2/2",
+			Groups: []Group{{Cells: (n - 1) * (n - 1), Delta: 1}}},
+		{Step: 3, Generation: 8, SubGenerations: 1,
+			Active: n, ActiveFormula: "n",
+			Groups: []Group{{Cells: n, Delta: 1}}},
+		{Step: 4, Generation: 9, SubGenerations: 1,
+			Active: (n - 1) * (n - 1), ActiveFormula: "(n-1)^2",
+			Groups: []Group{{Cells: n, Delta: n - 1}}},
+		{Step: 5, Generation: 10, SubGenerations: logn,
+			Active: n, ActiveFormula: "n",
+			Groups: []Group{{Cells: n, Delta: n, DataDependent: true}}},
+		{Step: 6, Generation: 11, SubGenerations: 1,
+			Active: n, ActiveFormula: "n",
+			Groups: []Group{{Cells: n, Delta: n, DataDependent: true}}},
+	}
+	for i := range rows {
+		rows[i].Name = core.GenerationName(rows[i].Generation)
+	}
+	return rows
+}
+
+// MeasuredRow aggregates the instrumented statistics of one generation id
+// over the first iteration of a run — the regime Table 1 describes.
+type MeasuredRow struct {
+	Step           int
+	Generation     int
+	Name           string
+	SubGenerations int
+	// ActiveMax is the maximum number of state-changing cells observed
+	// in any sub-generation of this generation.
+	ActiveMax int
+	// ReadsTotal is the total number of global reads over the
+	// generation's sub-generations.
+	ReadsTotal int
+	// MaxDelta is the maximum per-cell congestion observed.
+	MaxDelta int
+	// Levels is the congestion histogram of the first sub-generation
+	// (δ → number of target cells), sorted by descending δ.
+	Levels []gca.CongestionLevel
+}
+
+// MeasureTable1 runs the GCA program on g with instrumentation and
+// aggregates the first iteration's records per generation. The returned
+// rows align index-wise with PaperTable1(g.N()).
+func MeasureTable1(g *graph.Graph) ([]MeasuredRow, error) {
+	res, err := core.Run(g, core.Options{CollectStats: true})
+	if err != nil {
+		return nil, err
+	}
+	return AggregateFirstIteration(res), nil
+}
+
+// AggregateFirstIteration folds an instrumented result's records
+// (iteration -1 for generation 0 and iteration 0 for the rest) into one
+// row per generation.
+func AggregateFirstIteration(res *core.Result) []MeasuredRow {
+	byGen := make(map[int]*MeasuredRow)
+	order := []int{}
+	for _, rec := range res.Records {
+		if rec.Iteration > 0 {
+			break
+		}
+		row, ok := byGen[rec.Generation]
+		if !ok {
+			row = &MeasuredRow{
+				Step:       rec.Step,
+				Generation: rec.Generation,
+				Name:       core.GenerationName(rec.Generation),
+				Levels:     append([]gca.CongestionLevel(nil), rec.Levels...),
+			}
+			byGen[rec.Generation] = row
+			order = append(order, rec.Generation)
+		}
+		row.SubGenerations++
+		row.ReadsTotal += rec.Reads
+		if rec.Active > row.ActiveMax {
+			row.ActiveMax = rec.Active
+		}
+		if rec.MaxDelta > row.MaxDelta {
+			row.MaxDelta = rec.MaxDelta
+		}
+	}
+	rows := make([]MeasuredRow, 0, len(order))
+	for _, g := range order {
+		rows = append(rows, *byGen[g])
+	}
+	return rows
+}
+
+// FormatComparison renders the paper-vs-measured Table 1 comparison as a
+// fixed-width text table (one line per generation).
+func FormatComparison(paper []Row, measured []MeasuredRow) string {
+	out := fmt.Sprintf("%-4s %-4s %-16s %-6s %-14s %-12s %-10s %-10s %s\n",
+		"step", "gen", "name", "subs", "active(paper)", "active(max)", "reads", "maxδ", "paper δ-groups")
+	mByGen := make(map[int]MeasuredRow, len(measured))
+	for _, m := range measured {
+		mByGen[m.Generation] = m
+	}
+	for _, p := range paper {
+		m := mByGen[p.Generation]
+		groups := ""
+		for gi, grp := range p.Groups {
+			if gi > 0 {
+				groups += ", "
+			}
+			bar := ""
+			if grp.DataDependent {
+				bar = "≤"
+			}
+			groups += fmt.Sprintf("%d cells @ δ=%s%d", grp.Cells, bar, grp.Delta)
+		}
+		if groups == "" {
+			groups = "-"
+		}
+		out += fmt.Sprintf("%-4d %-4d %-16s %-6d %-14d %-12d %-10d %-10d %s\n",
+			p.Step, p.Generation, p.Name, p.SubGenerations,
+			p.Active, m.ActiveMax, m.ReadsTotal, m.MaxDelta, groups)
+	}
+	return out
+}

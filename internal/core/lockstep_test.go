@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gcacc/internal/gca"
+	"gcacc/internal/graph"
+	"gcacc/internal/pram"
+)
+
+// vectorObserver captures the GCA's C and T vectors at the two points the
+// paper maps onto the reference algorithm: T lives in column 0 after
+// generation 8 (end of step 3) and C lives in column 0 after generation 11
+// (end of step 6).
+type vectorObserver struct {
+	n           int
+	tAfterStep3 [][]gca.Value
+	cAfterStep6 [][]gca.Value
+}
+
+func (o *vectorObserver) OnStep(f *gca.Field, s *gca.StepStats) {
+	column0 := func() []gca.Value {
+		v := make([]gca.Value, o.n)
+		for j := 0; j < o.n; j++ {
+			v[j] = f.Data(j * o.n)
+		}
+		return v
+	}
+	switch s.Ctx.Generation {
+	case GenDefaultT2:
+		o.tAfterStep3 = append(o.tAfterStep3, column0())
+	case GenFinalMin:
+		o.cAfterStep6 = append(o.cAfterStep6, column0())
+	}
+}
+
+// TestLockstepGCAvsPRAM runs the GCA program and the PRAM reference on the
+// same graphs and requires the algorithm's C and T vectors to agree after
+// every step-3 and step-6 boundary of every iteration — the strongest
+// statement that the 12 generations implement Listing 1, not merely that
+// the final labelling coincides.
+func TestLockstepGCAvsPRAM(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(20)
+		g := graph.Gnp(n, rng.Float64()*0.6, rng)
+
+		obs := &vectorObserver{n: n}
+		if _, err := Run(g, Options{Observer: obs}); err != nil {
+			t.Fatal(err)
+		}
+
+		tr := &pram.VectorTrace{}
+		if _, err := pram.Hirschberg(g, pram.Options{Trace: tr}); err != nil {
+			t.Fatal(err)
+		}
+
+		if len(obs.cAfterStep6) != len(tr.CAfterStep6) {
+			t.Fatalf("trial %d: iteration counts differ: GCA %d vs PRAM %d",
+				trial, len(obs.cAfterStep6), len(tr.CAfterStep6))
+		}
+		for it := range tr.CAfterStep6 {
+			for i := 0; i < n; i++ {
+				if got, want := obs.tAfterStep3[it][i], gca.Value(tr.TAfterStep3[it][i]); got != want {
+					t.Fatalf("trial %d (n=%d) iteration %d: T(%d) differs: GCA %d vs PRAM %d\n%s",
+						trial, n, it, i, got, want, g)
+				}
+				if got, want := obs.cAfterStep6[it][i], gca.Value(tr.CAfterStep6[it][i]); got != want {
+					t.Fatalf("trial %d (n=%d) iteration %d: C(%d) differs: GCA %d vs PRAM %d\n%s",
+						trial, n, it, i, got, want, g)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"gcacc/internal/gca"
+)
+
+// Generation identifiers, matching the paper's Figure 2 / Table 1 rows.
+const (
+	GenInit      = 0  // d ← row(index): C(i) ← i (step 1)
+	GenCopyC     = 1  // copy C (column 0) into every row, incl. D_N (step 2)
+	GenMaskAdj   = 2  // keep C(col) only where A=1 and components differ
+	GenReduceT   = 3  // log n sub-generations: row-wise min → T in column 0
+	GenDefaultT  = 4  // T(j) ← C(j) where the min was ∞
+	GenCopyT     = 5  // copy T (column 0) into every row of D□ (step 3)
+	GenMaskComp  = 6  // keep T(col) only where C(col)=row and T(col)≠row
+	GenReduceT2  = 7  // identical to generation 3
+	GenDefaultT2 = 8  // identical to generation 4
+	GenSpread    = 9  // C ← T; spread T(j) across row j (step 4)
+	GenShortcut  = 10 // log n sub-generations: C(i) ← C(C(i)) (step 5)
+	GenFinalMin  = 11 // C(i) ← min(C(i), T(C(i))) (step 6)
+)
+
+// GenerationName returns a short human-readable label for a generation id.
+func GenerationName(g int) string {
+	switch g {
+	case GenInit:
+		return "init"
+	case GenCopyC:
+		return "copy-C"
+	case GenMaskAdj:
+		return "mask-adjacency"
+	case GenReduceT:
+		return "min-reduce"
+	case GenDefaultT:
+		return "default-T"
+	case GenCopyT:
+		return "copy-T"
+	case GenMaskComp:
+		return "mask-component"
+	case GenReduceT2:
+		return "min-reduce-2"
+	case GenDefaultT2:
+		return "default-T-2"
+	case GenSpread:
+		return "spread-T"
+	case GenShortcut:
+		return "shortcut"
+	case GenFinalMin:
+		return "final-min"
+	default:
+		return "unknown"
+	}
+}
+
+// StepOfGeneration maps a generation id to the step number (1–6) of the
+// reference algorithm in Listing 1, as in the paper's Table 1.
+func StepOfGeneration(g int) int {
+	switch g {
+	case GenInit:
+		return 1
+	case GenCopyC, GenMaskAdj, GenReduceT, GenDefaultT:
+		return 2
+	case GenCopyT, GenMaskComp, GenReduceT2, GenDefaultT2:
+		return 3
+	case GenSpread:
+		return 4
+	case GenShortcut:
+		return 5
+	case GenFinalMin:
+		return 6
+	default:
+		return 0
+	}
+}
+
+// rule is the uniform cell rule of Figure 2. All cells run the same code;
+// position-dependent behaviour (first column, bottom row, square field) is
+// selected by conditions on the index, exactly as in the paper.
+type rule struct {
+	lay Layout
+}
+
+var _ gca.Rule = rule{}
+
+// Pointer implements the left column of Figure 2 (the p = … assignments).
+// The pointer is computed in the current generation, immediately before
+// the global access.
+func (r rule) Pointer(ctx gca.Context, idx int, self gca.Cell) int {
+	n := r.lay.N
+	row := idx / n
+	col := idx % n
+	switch ctx.Generation {
+	case GenInit:
+		// Initialisation is local: d ← row(index).
+		return gca.NoRead
+
+	case GenCopyC, GenCopyT:
+		// (1a) p = col(index)·n — every cell of column i reads D<i>[0].
+		// In generation 5 the bottom row still performs the read but
+		// discards it (data op 5b), as reflected in Table 1's congestion
+		// entry "see gen. 1".
+		return col * n
+
+	case GenMaskAdj:
+		// (2a) p = n² + row(index) — all cells of row j read D_N[j],
+		// which holds C(j). The bottom row itself keeps its state and
+		// performs no read (its row index would leave the field).
+		if row == n {
+			return gca.NoRead
+		}
+		return n*n + row
+
+	case GenReduceT, GenReduceT2:
+		// (3a) p = index + 2^sub — tree min-reduction along the row.
+		// The read is suppressed when it would cross the row boundary;
+		// for n a power of two this never happens for any cell whose
+		// value reaches column 0, so the guard only matters for general n
+		// (DESIGN.md, deviation 3).
+		if row == n {
+			return gca.NoRead
+		}
+		step := 1 << uint(ctx.Sub)
+		if col+step >= n {
+			return gca.NoRead
+		}
+		return idx + step
+
+	case GenDefaultT, GenDefaultT2:
+		// (4a) first-column cells read D_N[row], which holds C(row);
+		// all other cells are idle (p = index in the paper, i.e. a
+		// self-read, which we express as NoRead).
+		if col == 0 && row != n {
+			return n*n + row
+		}
+		return gca.NoRead
+
+	case GenMaskComp:
+		// Generation 6 reads the component membership C(col) of the node
+		// whose T value this cell holds: p = n² + col(index).
+		// (The paper's prose says n² + row as in generation 2, which
+		// cannot compute step 3 of the reference algorithm; see
+		// DESIGN.md, deviation 1. The congestion profile is identical.)
+		if row == n {
+			return gca.NoRead
+		}
+		return n*n + col
+
+	case GenSpread:
+		// (9) p = row(index)·n — every square cell reads D<row>[0],
+		// which holds T(row). Column 0 already holds the value and the
+		// bottom row keeps its state (data op 5b in Figure 2).
+		if row == n || col == 0 {
+			return gca.NoRead
+		}
+		return row * n
+
+	case GenShortcut:
+		// (10) data-dependent pointer: D<j>[0] reads D<row(d)>[0], i.e.
+		// C(C(j)). Only the first column participates.
+		if col == 0 && row != n {
+			if self.D < 0 || self.D >= gca.Value(n) {
+				return r.lay.Size() // invalid C value; let the machine report it
+			}
+			return int(self.D) * n
+		}
+		return gca.NoRead
+
+	case GenFinalMin:
+		// (11) data-dependent pointer: D<j>[0] reads D<row(d)>[1], which
+		// still holds T(C(j)) from generation 9.
+		if col == 0 && row != n {
+			if self.D < 0 || self.D >= gca.Value(n) {
+				return r.lay.Size() // invalid C value; let the machine report it
+			}
+			return int(self.D)*n + 1
+		}
+		return gca.NoRead
+	}
+	return gca.NoRead
+}
+
+// Update implements the right column of Figure 2 (the d ← … operations).
+func (r rule) Update(ctx gca.Context, idx int, self, global gca.Cell) gca.Value {
+	n := r.lay.N
+	row := idx / n
+	col := idx % n
+	d := self.D
+	dStar := global.D
+	switch ctx.Generation {
+	case GenInit:
+		// d ← row(index). The whole field (not only column 0) is
+		// initialised; the surplus is overwritten in generation 1.
+		return gca.Value(row)
+
+	case GenCopyC:
+		// d ← d* for every cell, bottom row included.
+		return dStar
+
+	case GenMaskAdj:
+		// if ((d ≠ d*) & (A = 1)) ∨ row = n then d ← d else d ← ∞.
+		// d = C(col), d* = C(row), A = A(row,col).
+		if row == n {
+			return d
+		}
+		if self.A == 1 && d != dStar {
+			return d
+		}
+		return gca.Inf
+
+	case GenReduceT, GenReduceT2:
+		// if (d* < d) & row ≠ n then d ← d* else d ← d.
+		if row != n && dStar < d {
+			return dStar
+		}
+		return d
+
+	case GenDefaultT, GenDefaultT2:
+		// First column: if d = ∞ then d ← d* (= C(row)) else keep.
+		if col == 0 && row != n && d == gca.Inf {
+			return dStar
+		}
+		return d
+
+	case GenCopyT:
+		// (5b) if row = n then d ← d else d ← d*.
+		if row == n {
+			return d
+		}
+		return dStar
+
+	case GenMaskComp:
+		// Keep T(col) exactly when C(col) = row and T(col) ≠ row,
+		// otherwise d ← ∞ (bottom row keeps its state).
+		// d = T(col), d* = C(col).
+		if row == n {
+			return d
+		}
+		if dStar == gca.Value(row) && d != gca.Value(row) {
+			return d
+		}
+		return gca.Inf
+
+	case GenSpread:
+		// Square cells outside column 0: d ← d* (= T(row)).
+		if row == n || col == 0 {
+			return d
+		}
+		return dStar
+
+	case GenShortcut:
+		// First column: d ← d* (= C(C(row))).
+		if col == 0 && row != n {
+			return dStar
+		}
+		return d
+
+	case GenFinalMin:
+		// First column: d ← min(d, d*) = min(C(row), T(C(row))).
+		if col == 0 && row != n {
+			return gca.MinValue(d, dStar)
+		}
+		return d
+	}
+	return d
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+// TestAllExperiments runs the whole reproduction registry — every table,
+// figure and quantitative claim of the paper — on every `go test ./...`.
+func TestAllExperiments(t *testing.T) {
+	exps := All()
+	if len(exps) < 12 {
+		t.Fatalf("registry has %d experiments, want ≥ 12", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Claim == "" || e.Validate == nil {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		t.Run(e.ID, func(t *testing.T) {
+			if err := e.Validate(); err != nil {
+				t.Fatalf("claim %q failed: %v", e.Claim, err)
+			}
+		})
+	}
+	for _, want := range []string{"Listing 1", "Figure 2", "Figure 3", "Table 1", "Table 2",
+		"Section 3 closed form", "Section 4 synthesis"} {
+		if !seen[want] {
+			t.Errorf("registry missing %q", want)
+		}
+	}
+}

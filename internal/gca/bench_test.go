@@ -1,0 +1,90 @@
+package gca
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Engine microbenchmarks: raw synchronous-step throughput of the machine
+// under different field sizes, worker counts, and instrumentation levels.
+
+func benchRule(n int) Rule {
+	return RuleFuncs{
+		PointerFunc: func(_ Context, idx int, _ Cell) int { return (idx*7 + 13) % n },
+		UpdateFunc: func(_ Context, idx int, self, global Cell) Value {
+			return MinValue(self.D, global.D+1)
+		},
+	}
+}
+
+func BenchmarkStepThroughput(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 14, 1 << 18} {
+		b.Run(fmt.Sprintf("cells=%d", n), func(b *testing.B) {
+			f := NewField(n)
+			for i := 0; i < n; i++ {
+				f.SetData(i, Value(i))
+			}
+			m := NewMachine(f, benchRule(n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Step(Context{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(n) * 16) // two Cell buffers touched
+		})
+	}
+}
+
+func BenchmarkStepWorkers(b *testing.B) {
+	n := 1 << 16
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			f := NewField(n)
+			m := NewMachine(f, benchRule(n), WithWorkers(w))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Step(Context{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStepInstrumentation(b *testing.B) {
+	n := 1 << 14
+	configs := map[string][]Option{
+		"bare":       nil,
+		"congestion": {WithCongestion()},
+		"pointers":   {WithPointerCapture()},
+		"full":       {WithCongestion(), WithPointerCapture()},
+	}
+	for name, opts := range configs {
+		b.Run(name, func(b *testing.B) {
+			f := NewField(n)
+			m := NewMachine(f, benchRule(n), opts...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Step(Context{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkNoReadStep(b *testing.B) {
+	// Pure local rule: the floor cost of a generation.
+	n := 1 << 14
+	f := NewField(n)
+	m := NewMachine(f, RuleFuncs{
+		UpdateFunc: func(_ Context, _ int, self, _ Cell) Value { return self.D + 1 },
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Step(Context{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package gca
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Machine invariants, property-tested over random rules and field sizes:
+//
+//	I1: Σ over the congestion histogram of δ·cells == TotalReads
+//	I2: Active ≤ field size; MaxCongestion ≤ TotalReads
+//	I3: captured pointers are exactly the reads the histogram counts
+//	I4: a rule that never changes d yields Active == 0 forever
+func TestQuickMachineInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		// A random static pointer map with some NoReads.
+		targets := make([]int, n)
+		for i := range targets {
+			if rng.Intn(5) == 0 {
+				targets[i] = NoRead
+			} else {
+				targets[i] = rng.Intn(n)
+			}
+		}
+		rule := RuleFuncs{
+			PointerFunc: func(_ Context, idx int, _ Cell) int { return targets[idx] },
+			UpdateFunc: func(_ Context, idx int, self, global Cell) Value {
+				return self.D ^ global.D ^ Value(idx)
+			},
+		}
+		field := NewField(n)
+		for i := 0; i < n; i++ {
+			field.SetData(i, Value(rng.Int63n(1000)))
+		}
+		m := NewMachine(field, rule,
+			WithWorkers(1+rng.Intn(4)), WithCongestion(), WithPointerCapture())
+		for step := 0; step < 3; step++ {
+			s, err := m.Step(Context{Generation: step})
+			if err != nil {
+				return false
+			}
+			// I1
+			sum := 0
+			for delta, cells := range s.CongestionHistogram() {
+				sum += delta * cells
+			}
+			if sum != s.TotalReads {
+				return false
+			}
+			// I2
+			if s.Active > n || s.MaxCongestion > s.TotalReads {
+				return false
+			}
+			// I3
+			reads := 0
+			for _, p := range s.Pointers {
+				if p != int32(NoRead) {
+					reads++
+				}
+			}
+			if reads != s.TotalReads {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentityRuleNeverActive(t *testing.T) {
+	n := 64
+	field := NewField(n)
+	for i := 0; i < n; i++ {
+		field.SetData(i, Value(i*i))
+	}
+	identity := RuleFuncs{
+		PointerFunc: func(_ Context, idx int, _ Cell) int { return (idx + 7) % n },
+		UpdateFunc:  func(_ Context, _ int, self, _ Cell) Value { return self.D },
+	}
+	m := NewMachine(field, identity, WithWorkers(3))
+	for step := 0; step < 5; step++ {
+		s, err := m.Step(Context{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Active != 0 {
+			t.Fatalf("identity rule reported %d active cells", s.Active)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if field.Data(i) != Value(i*i) {
+			t.Fatal("identity rule changed the field")
+		}
+	}
+}

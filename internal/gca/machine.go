@@ -1,0 +1,275 @@
+package gca
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Observer receives a notification after every committed step. The
+// StepStats (and the slices inside it) are reused by the machine; an
+// observer that retains data across steps must copy it.
+type Observer interface {
+	OnStep(f *Field, s *StepStats)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(f *Field, s *StepStats)
+
+// OnStep implements Observer.
+func (fn ObserverFunc) OnStep(f *Field, s *StepStats) { fn(f, s) }
+
+// Machine executes a Rule over a Field in synchronous generations,
+// optionally sharded over multiple goroutines. The result of a step is a
+// pure function of the previous field state, so it is bit-identical for
+// every worker count.
+type Machine struct {
+	field   *Field
+	rule    Rule
+	rule2   Rule2 // non-nil when rule is two-handed
+	workers int
+
+	collectCongestion bool
+	capturePointers   bool
+	observer          Observer
+
+	tick int64
+
+	// Scratch buffers, reused across steps.
+	stats       StepStats
+	workerReads [][]int32
+}
+
+// Option configures a Machine.
+type Option func(*Machine)
+
+// WithWorkers sets the number of goroutines used per step. Values < 1
+// select runtime.GOMAXPROCS(0).
+func WithWorkers(n int) Option {
+	return func(m *Machine) { m.workers = n }
+}
+
+// WithCongestion enables per-target read counting (Table 1's δ column).
+// It costs one int32 per cell per worker.
+func WithCongestion() Option {
+	return func(m *Machine) { m.collectCongestion = true }
+}
+
+// WithPointerCapture records each cell's resolved pointer and whether its
+// state changed — the inputs of the Figure-3 access-pattern renderer.
+func WithPointerCapture() Option {
+	return func(m *Machine) { m.capturePointers = true }
+}
+
+// WithObserver attaches an observer notified after every step.
+func WithObserver(o Observer) Option {
+	return func(m *Machine) { m.observer = o }
+}
+
+// NewMachine builds a machine over the given field and rule.
+func NewMachine(field *Field, rule Rule, opts ...Option) *Machine {
+	if field == nil {
+		panic("gca: nil field")
+	}
+	if rule == nil {
+		panic("gca: nil rule")
+	}
+	m := &Machine{field: field, rule: rule}
+	if r2, ok := rule.(Rule2); ok {
+		m.rule2 = r2
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	if m.workers < 1 {
+		m.workers = runtime.GOMAXPROCS(0)
+	}
+	if m.workers > field.Len() && field.Len() > 0 {
+		m.workers = field.Len()
+	}
+	if m.workers < 1 {
+		m.workers = 1
+	}
+	n := field.Len()
+	if m.collectCongestion {
+		m.stats.Reads = make([]int32, n)
+		m.workerReads = make([][]int32, m.workers)
+		for i := range m.workerReads {
+			if i == 0 {
+				m.workerReads[i] = m.stats.Reads // worker 0 writes the merge target directly
+			} else {
+				m.workerReads[i] = make([]int32, n)
+			}
+		}
+	}
+	if m.capturePointers {
+		m.stats.Pointers = make([]int32, n)
+		m.stats.Changed = make([]bool, n)
+	}
+	return m
+}
+
+// Field returns the machine's field.
+func (m *Machine) Field() *Field { return m.field }
+
+// Tick returns the number of committed steps since construction.
+func (m *Machine) Tick() int64 { return m.tick }
+
+// Step executes one synchronous generation under ctx and commits it.
+// The returned stats are valid until the next call to Step.
+func (m *Machine) Step(ctx Context) (*StepStats, error) {
+	n := m.field.Len()
+	ctx.Tick = m.tick
+	m.stats.Ctx = ctx
+	m.stats.Active = 0
+	m.stats.TotalReads = 0
+	m.stats.MaxCongestion = 0
+
+	if m.collectCongestion {
+		for _, wr := range m.workerReads {
+			for i := range wr {
+				wr[i] = 0
+			}
+		}
+	}
+
+	var err error
+	if m.workers == 1 || n < 2*minChunk {
+		res := m.runRange(ctx, 0, n, 0)
+		m.stats.Active = res.active
+		m.stats.TotalReads = res.reads
+		err = res.err
+	} else {
+		results := make([]rangeResult, m.workers)
+		var wg sync.WaitGroup
+		chunk := (n + m.workers - 1) / m.workers
+		for w := 0; w < m.workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				results[w] = m.runRange(ctx, lo, hi, w)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, r := range results {
+			m.stats.Active += r.active
+			m.stats.TotalReads += r.reads
+			if r.err != nil && err == nil {
+				err = r.err
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if m.collectCongestion {
+		merged := m.stats.Reads
+		for w := 1; w < len(m.workerReads); w++ {
+			wr := m.workerReads[w]
+			for i, v := range wr {
+				if v != 0 {
+					merged[i] += v
+				}
+			}
+		}
+		maxC := int32(0)
+		for _, v := range merged {
+			if v > maxC {
+				maxC = v
+			}
+		}
+		m.stats.MaxCongestion = int(maxC)
+	}
+
+	m.field.swap()
+	m.tick++
+	if m.observer != nil {
+		m.observer.OnStep(m.field, &m.stats)
+	}
+	return &m.stats, nil
+}
+
+// minChunk is the smallest per-worker range worth a goroutine.
+const minChunk = 256
+
+type rangeResult struct {
+	active int
+	reads  int
+	err    error
+}
+
+// runRange evaluates cells [lo, hi) of the next generation.
+func (m *Machine) runRange(ctx Context, lo, hi, worker int) rangeResult {
+	var res rangeResult
+	cur := m.field.cur
+	next := m.field.next
+	n := len(cur)
+	var reads []int32
+	if m.collectCongestion {
+		reads = m.workerReads[worker]
+	}
+	for i := lo; i < hi; i++ {
+		self := cur[i]
+		p := m.rule.Pointer(ctx, i, self)
+		var global Cell
+		switch {
+		case p == NoRead:
+			global = self
+		case p < 0 || p >= n:
+			if res.err == nil {
+				res.err = fmt.Errorf("gca: generation %d sub %d: cell %d computed out-of-range pointer %d (field size %d)",
+					ctx.Generation, ctx.Sub, i, p, n)
+			}
+			continue
+		default:
+			global = cur[p]
+			res.reads++
+			if reads != nil {
+				reads[p]++
+			}
+		}
+		var d Value
+		if m.rule2 != nil {
+			p2 := m.rule2.Pointer2(ctx, i, self)
+			var global2 Cell
+			switch {
+			case p2 == NoRead:
+				global2 = self
+			case p2 < 0 || p2 >= n:
+				if res.err == nil {
+					res.err = fmt.Errorf("gca: generation %d sub %d: cell %d computed out-of-range second pointer %d (field size %d)",
+						ctx.Generation, ctx.Sub, i, p2, n)
+				}
+				continue
+			default:
+				global2 = cur[p2]
+				res.reads++
+				if reads != nil {
+					reads[p2]++
+				}
+			}
+			d = m.rule2.Update2(ctx, i, self, global, global2)
+		} else {
+			d = m.rule.Update(ctx, i, self, global)
+		}
+		next[i] = Cell{D: d, A: self.A}
+		changed := d != self.D
+		if changed {
+			res.active++
+		}
+		if m.capturePointers {
+			m.stats.Pointers[i] = int32(p)
+			m.stats.Changed[i] = changed
+		}
+	}
+	return res
+}

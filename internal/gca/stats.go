@@ -1,0 +1,67 @@
+package gca
+
+import "sort"
+
+// StepStats describes one synchronous generation (or sub-generation) of
+// the machine. Active-cell and congestion figures are the quantities of
+// the paper's Table 1; pointer capture feeds the Figure-3 access-pattern
+// renderer.
+type StepStats struct {
+	// Ctx is the control context the step ran under.
+	Ctx Context
+	// Active is the number of cells whose data field changed in this
+	// step — the paper's "active cells (modifying cell state)".
+	Active int
+	// TotalReads is the number of global read accesses performed.
+	TotalReads int
+	// MaxCongestion is max over cells of δ (number of concurrent reads of
+	// that cell); 0 when congestion collection is disabled.
+	MaxCongestion int
+	// Reads holds δ per target cell. Nil unless the machine was built
+	// WithCongestion. The slice is reused across steps; observers that
+	// retain it must copy.
+	Reads []int32
+	// Pointers holds the resolved pointer per source cell (NoRead for
+	// none). Nil unless the machine was built WithPointerCapture. Reused
+	// across steps.
+	Pointers []int32
+	// Changed flags cells whose data field changed. Nil unless the
+	// machine was built WithPointerCapture. Reused across steps.
+	Changed []bool
+}
+
+// CongestionHistogram returns, for each congestion level δ ≥ 1, the number
+// of cells that were read by exactly δ cells — the "# cells with read
+// access / δ" pairs of Table 1. It returns nil when congestion collection
+// is disabled.
+func (s *StepStats) CongestionHistogram() map[int]int {
+	if s.Reads == nil {
+		return nil
+	}
+	h := make(map[int]int)
+	for _, r := range s.Reads {
+		if r > 0 {
+			h[int(r)]++
+		}
+	}
+	return h
+}
+
+// CongestionLevels returns the histogram as (δ, count) pairs sorted by
+// descending δ, which is how Table 1 lists them.
+func (s *StepStats) CongestionLevels() []CongestionLevel {
+	h := s.CongestionHistogram()
+	levels := make([]CongestionLevel, 0, len(h))
+	for d, c := range h {
+		levels = append(levels, CongestionLevel{Delta: d, Cells: c})
+	}
+	sort.Slice(levels, func(i, j int) bool { return levels[i].Delta > levels[j].Delta })
+	return levels
+}
+
+// CongestionLevel is one row fragment of Table 1: Cells cells were each
+// read by Delta concurrent readers.
+type CongestionLevel struct {
+	Delta int // δ, concurrent read accesses per cell
+	Cells int // number of cells with that δ
+}

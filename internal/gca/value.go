@@ -1,0 +1,45 @@
+// Package gca implements the Global Cellular Automaton (GCA) machine model
+// of Hoffmann, Völkmann and Waldschmidt: a collection of cells that change
+// state synchronously, where — unlike the classical CA — every cell selects
+// one *global* neighbour per generation through a dynamically computed
+// pointer and reads (never writes) that neighbour's state.
+//
+// The model implemented here is the variant used by the paper:
+//
+//   - one-handed: each cell addresses exactly one global neighbour per
+//     generation (or none);
+//   - uniform: all cells execute the same rule (position-dependent
+//     behaviour is expressed inside the rule, as in the paper's Figure 2);
+//   - pointer computed in the current generation ("=" assignment in the
+//     paper), immediately before the global data is accessed;
+//   - synchronous with double buffering: all reads observe the previous
+//     generation's state, all writes go to the next, so the machine is a
+//     CROW (concurrent-read owner-write) automaton and data races are
+//     impossible by construction.
+//
+// The engine shards cells across goroutines for multicore stepping and can
+// record, per generation, the number of active cells (cells whose state
+// changed), the read congestion δ of every cell (how many cells read it),
+// and the raw pointer values — the quantities reported in the paper's
+// Table 1 and Figure 3.
+package gca
+
+import "math"
+
+// Value is the data word stored in a cell's data field d. The paper's
+// cells hold node numbers of O(log n) bits plus the distinguished value ∞;
+// a 64-bit signed word with a MaxInt64 sentinel covers every practical n.
+type Value int64
+
+// Inf is the paper's "∞" — the identity element of the min reductions in
+// generations 3 and 7.
+const Inf Value = math.MaxInt64
+
+// MinValue returns the smaller of a and b (∞-aware by construction, since
+// Inf is the maximum representable Value).
+func MinValue(a, b Value) Value {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,188 @@
+package gcasm
+
+import (
+	"fmt"
+	"math"
+
+	"gcacc/internal/gca"
+)
+
+// env is the per-cell evaluation environment of one rule invocation —
+// the quantities the paper's Figure 2 conditions range over.
+type env struct {
+	d     int64 // the cell's data field
+	dstar int64 // the global cell's data field (data operations only)
+	a     int64 // the cell's static auxiliary field
+	row   int64 // row(index)
+	col   int64 // col(index)
+	index int64 // linear index
+	n     int64 // problem size
+	sub   int64 // sub-generation counter
+	iter  int64 // outer iteration counter
+
+	locals [maxLetDepth]int64 // let-binding slots
+}
+
+// Value sentinels. noneValue flags "no pointer" when produced by a
+// pointer expression; infValue is the paper's ∞.
+const (
+	noneValue = int64(math.MinInt64)
+	infValue  = int64(gca.Inf)
+)
+
+// maxLetDepth bounds nested let-bindings per expression.
+const maxLetDepth = 8
+
+// compiledExpr is an expression compiled to a closure. Runtime errors are
+// impossible by construction except division by zero, which is reported
+// through the *err slot (checked once per rule invocation).
+type compiledExpr func(e *env, errSlot *error) int64
+
+// compileBinary builds a closure for a binary operator.
+func compileBinary(op string, lhs, rhs compiledExpr, line int) (compiledExpr, error) {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case "+":
+		return func(e *env, err *error) int64 { return lhs(e, err) + rhs(e, err) }, nil
+	case "-":
+		return func(e *env, err *error) int64 { return lhs(e, err) - rhs(e, err) }, nil
+	case "*":
+		return func(e *env, err *error) int64 { return lhs(e, err) * rhs(e, err) }, nil
+	case "/":
+		return func(e *env, err *error) int64 {
+			r := rhs(e, err)
+			if r == 0 {
+				if *err == nil {
+					*err = fmt.Errorf("gcasm: line %d: division by zero", line)
+				}
+				return 0
+			}
+			return lhs(e, err) / r
+		}, nil
+	case "%":
+		return func(e *env, err *error) int64 {
+			r := rhs(e, err)
+			if r == 0 {
+				if *err == nil {
+					*err = fmt.Errorf("gcasm: line %d: modulo by zero", line)
+				}
+				return 0
+			}
+			return lhs(e, err) % r
+		}, nil
+	case "==":
+		return func(e *env, err *error) int64 { return b2i(lhs(e, err) == rhs(e, err)) }, nil
+	case "!=":
+		return func(e *env, err *error) int64 { return b2i(lhs(e, err) != rhs(e, err)) }, nil
+	case "<":
+		return func(e *env, err *error) int64 { return b2i(lhs(e, err) < rhs(e, err)) }, nil
+	case "<=":
+		return func(e *env, err *error) int64 { return b2i(lhs(e, err) <= rhs(e, err)) }, nil
+	case ">":
+		return func(e *env, err *error) int64 { return b2i(lhs(e, err) > rhs(e, err)) }, nil
+	case ">=":
+		return func(e *env, err *error) int64 { return b2i(lhs(e, err) >= rhs(e, err)) }, nil
+	case "and":
+		return func(e *env, err *error) int64 {
+			if lhs(e, err) == 0 {
+				return 0
+			}
+			return b2i(rhs(e, err) != 0)
+		}, nil
+	case "or":
+		return func(e *env, err *error) int64 {
+			if lhs(e, err) != 0 {
+				return 1
+			}
+			return b2i(rhs(e, err) != 0)
+		}, nil
+	default:
+		return nil, fmt.Errorf("gcasm: line %d: unknown operator %q", line, op)
+	}
+}
+
+// compileVar resolves an identifier to an environment accessor or a
+// builtin constant.
+func compileVar(name string, line int) (compiledExpr, error) {
+	switch name {
+	case "d":
+		return func(e *env, _ *error) int64 { return e.d }, nil
+	case "dstar":
+		return func(e *env, _ *error) int64 { return e.dstar }, nil
+	case "a":
+		return func(e *env, _ *error) int64 { return e.a }, nil
+	case "row":
+		return func(e *env, _ *error) int64 { return e.row }, nil
+	case "col":
+		return func(e *env, _ *error) int64 { return e.col }, nil
+	case "index":
+		return func(e *env, _ *error) int64 { return e.index }, nil
+	case "n":
+		return func(e *env, _ *error) int64 { return e.n }, nil
+	case "sub":
+		return func(e *env, _ *error) int64 { return e.sub }, nil
+	case "iter":
+		return func(e *env, _ *error) int64 { return e.iter }, nil
+	case "inf":
+		return func(*env, *error) int64 { return infValue }, nil
+	case "none":
+		return func(*env, *error) int64 { return noneValue }, nil
+	default:
+		return nil, fmt.Errorf("gcasm: line %d: unknown identifier %q", line, name)
+	}
+}
+
+// compileCall resolves the builtin functions.
+func compileCall(name string, args []compiledExpr, line int) (compiledExpr, error) {
+	arity := map[string]int{"pow2": 1, "min": 2, "max": 2, "abs": 1}
+	want, ok := arity[name]
+	if !ok {
+		return nil, fmt.Errorf("gcasm: line %d: unknown function %q", line, name)
+	}
+	if len(args) != want {
+		return nil, fmt.Errorf("gcasm: line %d: %s takes %d argument(s), got %d", line, name, want, len(args))
+	}
+	switch name {
+	case "pow2":
+		return func(e *env, err *error) int64 {
+			x := args[0](e, err)
+			if x < 0 || x > 62 {
+				if *err == nil {
+					*err = fmt.Errorf("gcasm: line %d: pow2(%d) out of range", line, x)
+				}
+				return 0
+			}
+			return 1 << uint(x)
+		}, nil
+	case "min":
+		return func(e *env, err *error) int64 {
+			a, b := args[0](e, err), args[1](e, err)
+			if a < b {
+				return a
+			}
+			return b
+		}, nil
+	case "max":
+		return func(e *env, err *error) int64 {
+			a, b := args[0](e, err), args[1](e, err)
+			if a > b {
+				return a
+			}
+			return b
+		}, nil
+	case "abs":
+		return func(e *env, err *error) int64 {
+			x := args[0](e, err)
+			if x < 0 {
+				return -x
+			}
+			return x
+		}, nil
+	}
+	panic("unreachable")
+}

@@ -1,0 +1,53 @@
+package gcasm
+
+import (
+	"math/rand"
+	"testing"
+
+	"gcacc/internal/graph"
+)
+
+func BenchmarkParseHirschberg(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(HirschbergSource); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDSLRunVsNative(b *testing.B) {
+	g := graph.Gnp(32, 0.5, rand.New(rand.NewSource(7)))
+	b.Run("dsl", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ConnectedComponents(g, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkListRank(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	next := randomListForestBench(4096, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RankList(next, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func randomListForestBench(n int, rng *rand.Rand) []int {
+	perm := rng.Perm(n)
+	next := make([]int, n)
+	i := 0
+	for i < n {
+		length := 1 + rng.Intn(n-i)
+		for j := 0; j < length-1; j++ {
+			next[perm[i+j]] = perm[i+j+1]
+		}
+		next[perm[i+length-1]] = perm[i+length-1]
+		i += length
+	}
+	return next
+}

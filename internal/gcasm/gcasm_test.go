@@ -1,0 +1,402 @@
+package gcasm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gcacc/internal/core"
+	"gcacc/internal/gca"
+	"gcacc/internal/graph"
+	"gcacc/internal/ncell"
+)
+
+// --- lexer ---
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("gen x:\n  p = col * n # comment\n  d <- if a == 1 then d else inf\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		if tok.kind == tokNewline {
+			texts = append(texts, "NL")
+		} else if tok.kind == tokEOF {
+			texts = append(texts, "EOF")
+		} else {
+			texts = append(texts, tok.text)
+		}
+	}
+	want := "gen x : NL p = col * n NL d <- if a == 1 then d else inf NL EOF"
+	if got := strings.Join(texts, " "); got != want {
+		t.Fatalf("lex = %q, want %q", got, want)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lex("p = d @ 3"); err == nil {
+		t.Error("bad character accepted")
+	}
+	if _, err := lex("p = 12x"); err == nil {
+		t.Error("malformed number accepted")
+	}
+}
+
+// --- expressions ---
+
+// evalExpr parses a one-line program around the expression and evaluates
+// it in the given environment.
+func evalExpr(t *testing.T, src string, e env) int64 {
+	t.Helper()
+	prog, err := Parse("gen g:\n  d <- " + src + "\nstart g\n")
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	var errSlot error
+	v := prog.gens[0].data(&e, &errSlot)
+	if errSlot != nil {
+		t.Fatalf("eval %q: %v", src, errSlot)
+	}
+	return v
+}
+
+func TestExpressionEvaluation(t *testing.T) {
+	e := env{d: 7, dstar: 3, a: 1, row: 2, col: 5, index: 13, n: 4, sub: 1, iter: 2}
+	cases := map[string]int64{
+		"1 + 2 * 3":                7,
+		"(1 + 2) * 3":              9,
+		"10 - 2 - 3":               5, // left associative
+		"10 / 3":                   3,
+		"10 % 3":                   1,
+		"-d":                       -7,
+		"d + dstar":                10,
+		"a":                        1,
+		"row * n + col":            13,
+		"index":                    13,
+		"sub + iter":               3,
+		"d == 7":                   1,
+		"d != 7":                   0,
+		"d < dstar":                0,
+		"dstar <= 3":               1,
+		"d > 6 and dstar < 4":      1,
+		"d > 9 or dstar < 4":       1,
+		"not (d > 9)":              1,
+		"if d > 5 then 100 else 0": 100,
+		"if d < 5 then 100 else 0": 0,
+		"pow2(sub)":                2,
+		"pow2(0)":                  1,
+		"min(d, dstar)":            3,
+		"max(d, dstar)":            7,
+		"abs(0 - 9)":               9,
+		"inf == inf":               1,
+		"min(inf, 5)":              5,
+		"if d == 7 and not (dstar == 9) then d * 2 else inf": 14,
+	}
+	for src, want := range cases {
+		if got := evalExpr(t, src, e); got != want {
+			t.Errorf("%q = %d, want %d", src, got, want)
+		}
+	}
+}
+
+func TestExpressionRuntimeErrors(t *testing.T) {
+	for _, src := range []string{"d / (n - 4)", "d % (n - 4)", "pow2(100)", "pow2(0 - 1)"} {
+		prog, err := Parse("gen g:\n  d <- " + src + "\nstart g\n")
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		e := env{n: 4}
+		var errSlot error
+		prog.gens[0].data(&e, &errSlot)
+		if errSlot == nil {
+			t.Errorf("%q: expected runtime error", src)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no schedule":        "gen g:\n  d <- 1\n",
+		"undeclared gen":     "gen g:\n  d <- 1\nstart h\n",
+		"duplicate gen":      "gen g:\n  d <- 1\ngen g:\n  d <- 2\nstart g\n",
+		"two data ops":       "gen g:\n  d <- 1\n  d <- 2\nstart g\n",
+		"two pointer ops":    "gen g:\n  p = 1\n  p = 2\nstart g\n",
+		"bad count":          "gen g times 0:\n  d <- 1\nstart g\n",
+		"missing then":       "gen g:\n  d <- if d else 2\nstart g\n",
+		"missing else":       "gen g:\n  d <- if d then 2\nstart g\n",
+		"unknown ident":      "gen g:\n  d <- frob\nstart g\n",
+		"unknown func":       "gen g:\n  d <- frob(2)\nstart g\n",
+		"bad arity":          "gen g:\n  d <- min(1)\nstart g\n",
+		"empty repeat":       "gen g:\n  d <- 1\nrepeat log { }\n",
+		"unclosed paren":     "gen g:\n  d <- (1 + 2\nstart g\n",
+		"garbage top level":  "42\n",
+		"missing colon":      "gen g\n  d <- 1\nstart g\n",
+		"trailing junk":      "gen g:\n  d <- 1 2\nstart g\n",
+		"start without name": "gen g:\n  d <- 1\nstart\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: parse accepted %q", name, src)
+		}
+	}
+}
+
+func TestScheduleShapes(t *testing.T) {
+	prog, err := Parse(`
+gen a:
+  d <- d + 1
+gen b times 3:
+  d <- d + 10
+start a
+repeat 2 {
+  a b
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := gca.NewField(1)
+	res, err := prog.Run(RunConfig{N: 1, Field: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a once, then 2 × (a + 3×b): 1 + 2·4 = 9 steps.
+	if res.Generations != 9 {
+		t.Fatalf("Generations = %d, want 9", res.Generations)
+	}
+	// Value: +1, then 2 × (+1 +30) = 63.
+	if got := f.Data(0); got != 63 {
+		t.Fatalf("cell = %d, want 63", got)
+	}
+}
+
+func TestCountScan(t *testing.T) {
+	prog, err := Parse("gen g times scan:\n  d <- d + 1\nstart g\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := gca.NewField(5)
+	res, err := prog.Run(RunConfig{N: 5, Field: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generations != 4 { // n - 1
+		t.Fatalf("scan count = %d, want 4", res.Generations)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	prog, err := Parse("gen g:\n  d <- d\nstart g\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Run(RunConfig{N: 0, Field: gca.NewField(1)}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := prog.Run(RunConfig{N: 1}); err == nil {
+		t.Error("nil field accepted")
+	}
+}
+
+func TestPointerNone(t *testing.T) {
+	// A pointer of 'none' must mean no read: dstar == d.
+	prog, err := Parse("gen g:\n  p = none\n  d <- dstar + 1\nstart g\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := gca.NewField(2)
+	f.SetData(0, 10)
+	f.SetData(1, 20)
+	if _, err := prog.Run(RunConfig{N: 2, Field: f}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Data(0) != 11 || f.Data(1) != 21 {
+		t.Fatalf("none-pointer semantics wrong: %d, %d", f.Data(0), f.Data(1))
+	}
+}
+
+func TestDataNoneIsError(t *testing.T) {
+	prog, err := Parse("gen g:\n  d <- none\nstart g\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Run(RunConfig{N: 1, Field: gca.NewField(1)}); err == nil {
+		t.Error("data op producing 'none' accepted")
+	}
+}
+
+func TestOutOfRangePointerReported(t *testing.T) {
+	prog, err := Parse("gen g:\n  p = 99\n  d <- dstar\nstart g\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Run(RunConfig{N: 1, Field: gca.NewField(1)}); err == nil {
+		t.Error("out-of-range pointer accepted")
+	}
+}
+
+// --- the embedded Hirschberg program ---
+
+func TestHirschbergProgramParses(t *testing.T) {
+	prog := HirschbergProgram()
+	names := prog.Generations()
+	if len(names) != 12 {
+		t.Fatalf("%d generations, want 12", len(names))
+	}
+	if names[0] != "init" || names[11] != "final_min" {
+		t.Fatalf("generation order wrong: %v", names)
+	}
+}
+
+func TestDSLMatchesNativeImplementation(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(24)
+		g := graph.Gnp(n, rng.Float64()*0.7, rng)
+		labels, runRes, err := ConnectedComponents(g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.ConnectedComponents(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Labels {
+			if labels[i] != want.Labels[i] {
+				t.Fatalf("trial %d (n=%d): DSL and native disagree at %d: %d vs %d\n%s",
+					trial, n, i, labels[i], want.Labels[i], g)
+			}
+		}
+		if runRes.Generations != want.Generations {
+			t.Fatalf("trial %d: DSL ran %d generations, native %d",
+				trial, runRes.Generations, want.Generations)
+		}
+	}
+}
+
+func TestDSLGenerationCountFormula(t *testing.T) {
+	for _, n := range []int{2, 8, 16} {
+		g := graph.Path(n)
+		_, res, err := ConnectedComponents(g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Generations != core.TotalGenerations(n) {
+			t.Errorf("n=%d: %d generations, want %d", n, res.Generations, core.TotalGenerations(n))
+		}
+	}
+}
+
+func TestDSLStats(t *testing.T) {
+	g := graph.Path(4)
+	n := g.N()
+	field := gca.NewField(n * (n + 1))
+	adj := g.Adjacency()
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if adj.Get(j, i) {
+				field.SetCell(j*n+i, gca.Cell{A: 1})
+			}
+		}
+	}
+	res, err := HirschbergProgram().Run(RunConfig{N: n, Field: field, CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != res.Generations {
+		t.Fatalf("%d records for %d generations", len(res.Records), res.Generations)
+	}
+	// copy_c congestion: n cells read by n+1 readers.
+	for _, rec := range res.Records {
+		if rec.GenName == "copy_c" && rec.MaxDelta != n+1 {
+			t.Fatalf("copy_c maxδ = %d, want %d", rec.MaxDelta, n+1)
+		}
+	}
+}
+
+func TestDSLEmptyGraph(t *testing.T) {
+	labels, _, err := ConnectedComponents(graph.New(0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 0 {
+		t.Fatal("empty graph produced labels")
+	}
+}
+
+// --- let bindings ---
+
+func TestLetBindings(t *testing.T) {
+	e := env{d: 10, n: 4}
+	cases := map[string]int64{
+		"let x = 3 in x + 1":                        4,
+		"let x = d in x * x":                        100,
+		"let x = 2 in let y = 3 in x * y":           6,
+		"let x = 2 in let x = 3 in x":               3,  // shadowing
+		"let x = 5 in (let y = x in y) + x":         10, // scope restored
+		"let d = 7 in d":                            7,  // shadows builtin
+		"let x = if d > 5 then 1 else 2 in x * 100": 100,
+		"if (let x = d in x) > 5 then 1 else 0":     1,
+	}
+	for src, want := range cases {
+		if got := evalExpr(t, src, e); got != want {
+			t.Errorf("%q = %d, want %d", src, got, want)
+		}
+	}
+}
+
+func TestLetErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing in":    "gen g:\n  d <- let x = 1 x\nstart g\n",
+		"missing name":  "gen g:\n  d <- let = 1 in 2\nstart g\n",
+		"unbound after": "gen g:\n  d <- (let x = 1 in x) + x\nstart g\n",
+		"too deep":      "gen g:\n  d <- let a=1 in let b=1 in let c=1 in let e=1 in let f=1 in let g=1 in let h=1 in let i=1 in let j=1 in 0\nstart g\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: parse accepted %q", name, src)
+		}
+	}
+}
+
+// --- the embedded n-cell program ---
+
+func TestNCellProgramParses(t *testing.T) {
+	prog := NCellProgram()
+	if got := len(prog.Generations()); got != 8 {
+		t.Fatalf("%d generations, want 8", got)
+	}
+}
+
+func TestNCellDSLMatchesNativeNCell(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(30)
+		g := graph.Gnp(n, rng.Float64()*0.7, rng)
+		labels, runRes, err := NCellConnectedComponents(g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ncell.ConnectedComponents(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Labels {
+			if labels[i] != want.Labels[i] {
+				t.Fatalf("trial %d (n=%d): DSL n-cell diverges at %d: %d vs %d\n%s",
+					trial, n, i, labels[i], want.Labels[i], g)
+			}
+		}
+		if runRes.Generations != want.Generations {
+			t.Fatalf("trial %d: DSL ran %d generations, native %d",
+				trial, runRes.Generations, want.Generations)
+		}
+	}
+}
+
+func TestNCellDSLSizeCap(t *testing.T) {
+	if _, _, err := NCellConnectedComponents(graph.Empty(63), 1); err == nil {
+		t.Fatal("n > 62 accepted")
+	}
+}

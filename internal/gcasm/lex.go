@@ -1,0 +1,120 @@
+// Package gcasm provides a small rule-description language for Global
+// Cellular Automaton programs — the "software support for this model"
+// that the paper's research programme (DFG project "Massively Parallel
+// Systems for GCA") calls for. A program declares named generations, each
+// with a pointer operation and a data operation over the cell environment
+// (d, d*, a, row, col, index, n, sub, iter), plus a schedule (one-shot
+// generations and repeated blocks), exactly the shape of the paper's
+// Figure 2 state graph.
+//
+// The package compiles a program to a gca.Rule and a step schedule, so
+// new GCA algorithms can be prototyped as text and executed on the same
+// instrumented machine as the built-in programs. The complete Hirschberg
+// program ships as an embedded example (HirschbergSource) and is tested
+// to be step-for-step equivalent to the native internal/core
+// implementation.
+package gcasm
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokPunct   // one of: ( ) { } : , = + - * / % < > <= >= == != <-
+	tokNewline // statement separator
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNewline:
+		return "end of line"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex splits src into tokens. Comments run from '#' to end of line.
+// Newlines are significant (they terminate statements) but collapsed.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	emitNewline := func() {
+		if len(toks) > 0 && toks[len(toks)-1].kind != tokNewline {
+			toks = append(toks, token{kind: tokNewline, line: line})
+		}
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			emitNewline()
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (isIdentChar(src[j])) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j], line: line})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			if j < len(src) && isIdentChar(src[j]) {
+				return nil, fmt.Errorf("gcasm: line %d: malformed number %q", line, src[i:j+1])
+			}
+			toks = append(toks, token{kind: tokInt, text: src[i:j], line: line})
+			i = j
+		default:
+			// Multi-character punctuation first.
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<-", "<=", ">=", "==", "!=":
+				toks = append(toks, token{kind: tokPunct, text: two, line: line})
+				i += 2
+				continue
+			}
+			if strings.ContainsRune("(){}:,=+-*/%<>", rune(c)) {
+				toks = append(toks, token{kind: tokPunct, text: string(c), line: line})
+				i++
+				continue
+			}
+			return nil, fmt.Errorf("gcasm: line %d: unexpected character %q", line, c)
+		}
+	}
+	emitNewline()
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}

@@ -1,0 +1,102 @@
+package gcasm
+
+import (
+	"fmt"
+
+	"gcacc/internal/gca"
+	"gcacc/internal/graph"
+)
+
+// NCellSource is the n-cell design alternative (one cell per graph node,
+// Θ(n log n) generations — see internal/ncell) expressed in the rule
+// language. It demonstrates two expressive corners of the DSL:
+//
+//   - multi-field cell state via lane arithmetic: the data word packs
+//     (c, t, acc) in three 21-bit lanes (L = 2097152 = 2^21, L² =
+//     4398046511104; the ∞ code of the acc lane is L−1 = 2097151), with
+//     'let' bindings naming the unpacked fields;
+//   - per-cell configuration beyond one bit: the aux field a holds the
+//     cell's whole adjacency row as a bitmask, tested with
+//     (a / pow2(j)) % 2 — which caps this program at n ≤ 62 and
+//     illustrates the paper's remark that cells hosting more than O(1)
+//     shared-memory elements strain the model.
+//
+// 'times scan' runs a phase n−1 times — the sequential neighbour scan
+// that replaces the n²-cell design's tree reduction.
+const NCellSource = `
+# Hirschberg connected components on an n-cell GCA (one cell per node).
+# Cell word: c + t*2097152 + acc*4398046511104 (21-bit lanes, acc inf = 2097151).
+# Aux field a: the cell's adjacency row as a bitmask.
+
+gen init:
+    d <- index + index * 2097152 + 2097151 * 4398046511104
+
+gen scan_c times scan:
+    p = (index + 1 + sub) % n
+    d <- let cj = dstar % 2097152 in if (a / pow2((index + 1 + sub) % n)) % 2 == 1 and cj != d % 2097152 and cj < d / 4398046511104 then d % 4398046511104 + cj * 4398046511104 else d
+
+gen set_t:
+    d <- let c = d % 2097152 in let acc = d / 4398046511104 in let t = if acc == 2097151 then c else acc in c + t * 2097152 + (if c == index and t != index then t else 2097151) * 4398046511104
+
+gen scan_t times scan:
+    p = (index + 1 + sub) % n
+    d <- let tj = dstar / 2097152 % 2097152 in if dstar % 2097152 == index and tj != index and tj < d / 4398046511104 then d % 4398046511104 + tj * 4398046511104 else d
+
+gen set_t2:
+    d <- let c = d % 2097152 in let acc = d / 4398046511104 in let t = if acc == 2097151 then c else acc in c + t * 2097152 + 2097151 * 4398046511104
+
+gen hook:
+    d <- let t = d / 2097152 % 2097152 in t + t * 2097152 + d / 4398046511104 * 4398046511104
+
+gen shortcut times log:
+    p = d / 2097152 % 2097152
+    d <- d % 2097152 + dstar / 2097152 % 2097152 * 2097152 + d / 4398046511104 * 4398046511104
+
+gen final_min:
+    p = d / 2097152 % 2097152
+    d <- min(dstar % 2097152, d / 2097152 % 2097152) + d / 2097152 % 2097152 * 2097152 + d / 4398046511104 * 4398046511104
+
+start init
+repeat log {
+    scan_c set_t scan_t set_t2 hook shortcut final_min
+}
+`
+
+// NCellProgram parses the embedded n-cell source.
+func NCellProgram() *Program {
+	p, err := Parse(NCellSource)
+	if err != nil {
+		panic(fmt.Sprintf("gcasm: embedded n-cell program does not parse: %v", err))
+	}
+	return p
+}
+
+// NCellConnectedComponents runs the n-cell DSL program: n cells, each
+// cell's aux field carrying its adjacency row as a bitmask (n ≤ 62).
+func NCellConnectedComponents(g *graph.Graph, workers int) ([]int, *RunResult, error) {
+	n := g.N()
+	if n == 0 {
+		return []int{}, &RunResult{}, nil
+	}
+	if n > 62 {
+		return nil, nil, fmt.Errorf("gcasm: n-cell program supports n ≤ 62 (adjacency bitmask in a 63-bit aux field), got %d", n)
+	}
+	field := gca.NewField(n)
+	adj := g.Adjacency()
+	for i := 0; i < n; i++ {
+		var mask gca.Value
+		for _, j := range adj.RowIndices(i, nil) {
+			mask |= 1 << uint(j)
+		}
+		field.SetCell(i, gca.Cell{A: mask})
+	}
+	res, err := NCellProgram().Run(RunConfig{N: n, Field: field, Workers: workers})
+	if err != nil {
+		return nil, nil, err
+	}
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		labels[i] = int(field.Data(i) % (1 << 21))
+	}
+	return labels, res, nil
+}

@@ -1,0 +1,526 @@
+package gcasm
+
+import "fmt"
+
+// Grammar (newline-terminated statements, '#' comments):
+//
+//	program   := { genDecl | schedDecl }
+//	genDecl   := "gen" IDENT [ "times" count ] ":" NL { stmt }
+//	stmt      := "p" "=" expr NL
+//	           | "d" "<-" expr NL
+//	count     := "log"            ⌈log₂ n⌉ sub-generations
+//	           | "scan"           n−1 sub-generations
+//	           | INT
+//	schedDecl := "start" IDENT NL
+//	           | "repeat" count "{" IDENT { IDENT } "}" NL
+//	expr      := "if" expr "then" expr "else" expr
+//	           | disjunction with the usual precedence:
+//	             or < and < not < comparisons < + - < * / % < unary -
+//	primary   := INT | IDENT | IDENT "(" expr {"," expr} ")" | "(" expr ")"
+
+// countKind discriminates sub-generation counts.
+type countKind int
+
+const (
+	countOne countKind = iota
+	countLog
+	countScan
+	countLit
+)
+
+type countSpec struct {
+	kind countKind
+	lit  int
+}
+
+type genDef struct {
+	name    string
+	times   countSpec
+	pointer compiledExpr // nil: no global read
+	data    compiledExpr // nil: keep d
+	line    int
+}
+
+type schedItem struct {
+	repeat countSpec
+	gens   []string
+	line   int
+}
+
+// Program is a parsed (but not yet size-instantiated) GCA program.
+type Program struct {
+	gens     []*genDef
+	genIndex map[string]int
+	schedule []schedItem
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	// lets is the stack of in-scope let-binding names; a name's slot is
+	// its index on the stack.
+	lets []string
+}
+
+// Parse compiles program text.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{genIndex: map[string]int{}}
+	p.skipNewlines()
+	for !p.at(tokEOF) {
+		switch {
+		case p.atIdent("gen"):
+			if err := p.parseGen(prog); err != nil {
+				return nil, err
+			}
+		case p.atIdent("start"), p.atIdent("repeat"):
+			if err := p.parseSched(prog); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("gcasm: line %d: expected 'gen', 'start' or 'repeat', got %s",
+				p.cur().line, p.cur())
+		}
+		p.skipNewlines()
+	}
+	if len(prog.schedule) == 0 {
+		return nil, fmt.Errorf("gcasm: program has no schedule ('start'/'repeat' declarations)")
+	}
+	for _, item := range prog.schedule {
+		for _, g := range item.gens {
+			if _, ok := prog.genIndex[g]; !ok {
+				return nil, fmt.Errorf("gcasm: line %d: schedule references undeclared generation %q", item.line, g)
+			}
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(k tokenKind) bool {
+	return p.cur().kind == k
+}
+func (p *parser) atIdent(text string) bool {
+	return p.cur().kind == tokIdent && p.cur().text == text
+}
+func (p *parser) atPunct(text string) bool {
+	return p.cur().kind == tokPunct && p.cur().text == text
+}
+func (p *parser) expectPunct(text string) error {
+	if !p.atPunct(text) {
+		return fmt.Errorf("gcasm: line %d: expected %q, got %s", p.cur().line, text, p.cur())
+	}
+	p.pos++
+	return nil
+}
+func (p *parser) expectNewline() error {
+	if p.at(tokEOF) {
+		return nil
+	}
+	if !p.at(tokNewline) {
+		return fmt.Errorf("gcasm: line %d: expected end of line, got %s", p.cur().line, p.cur())
+	}
+	p.pos++
+	return nil
+}
+func (p *parser) skipNewlines() {
+	for p.at(tokNewline) {
+		p.pos++
+	}
+}
+
+func (p *parser) parseCount() (countSpec, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokIdent && t.text == "log":
+		p.pos++
+		return countSpec{kind: countLog}, nil
+	case t.kind == tokIdent && t.text == "scan":
+		p.pos++
+		return countSpec{kind: countScan}, nil
+	case t.kind == tokInt:
+		p.pos++
+		v := 0
+		fmt.Sscanf(t.text, "%d", &v)
+		if v < 1 {
+			return countSpec{}, fmt.Errorf("gcasm: line %d: count must be ≥ 1", t.line)
+		}
+		return countSpec{kind: countLit, lit: v}, nil
+	default:
+		return countSpec{}, fmt.Errorf("gcasm: line %d: expected 'log', 'scan' or a count, got %s", t.line, t)
+	}
+}
+
+func (p *parser) parseGen(prog *Program) error {
+	p.pos++ // "gen"
+	if !p.at(tokIdent) {
+		return fmt.Errorf("gcasm: line %d: expected generation name, got %s", p.cur().line, p.cur())
+	}
+	name := p.next().text
+	if _, dup := prog.genIndex[name]; dup {
+		return fmt.Errorf("gcasm: duplicate generation %q", name)
+	}
+	g := &genDef{name: name, times: countSpec{kind: countOne}, line: p.cur().line}
+	if p.atIdent("times") {
+		p.pos++
+		c, err := p.parseCount()
+		if err != nil {
+			return err
+		}
+		g.times = c
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return err
+	}
+	if err := p.expectNewline(); err != nil {
+		return err
+	}
+	p.skipNewlines()
+	for {
+		switch {
+		case p.atIdent("p"):
+			line := p.cur().line
+			if g.pointer != nil {
+				return fmt.Errorf("gcasm: line %d: generation %q has two pointer operations", line, name)
+			}
+			p.pos++
+			if err := p.expectPunct("="); err != nil {
+				return err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			if err := p.expectNewline(); err != nil {
+				return err
+			}
+			g.pointer = e
+		case p.atIdent("d"):
+			line := p.cur().line
+			if g.data != nil {
+				return fmt.Errorf("gcasm: line %d: generation %q has two data operations", line, name)
+			}
+			p.pos++
+			if err := p.expectPunct("<-"); err != nil {
+				return err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			if err := p.expectNewline(); err != nil {
+				return err
+			}
+			g.data = e
+		default:
+			prog.genIndex[name] = len(prog.gens)
+			prog.gens = append(prog.gens, g)
+			return nil
+		}
+		p.skipNewlines()
+	}
+}
+
+func (p *parser) parseSched(prog *Program) error {
+	line := p.cur().line
+	if p.atIdent("start") {
+		p.pos++
+		if !p.at(tokIdent) {
+			return fmt.Errorf("gcasm: line %d: expected generation name after 'start'", line)
+		}
+		prog.schedule = append(prog.schedule, schedItem{
+			repeat: countSpec{kind: countOne},
+			gens:   []string{p.next().text},
+			line:   line,
+		})
+		return p.expectNewline()
+	}
+	// repeat count { g g g }
+	p.pos++ // "repeat"
+	c, err := p.parseCount()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	item := schedItem{repeat: c, line: line}
+	for {
+		p.skipNewlines()
+		if p.atPunct("}") {
+			p.pos++
+			break
+		}
+		if !p.at(tokIdent) {
+			return fmt.Errorf("gcasm: line %d: expected generation name or '}', got %s", p.cur().line, p.cur())
+		}
+		item.gens = append(item.gens, p.next().text)
+	}
+	if len(item.gens) == 0 {
+		return fmt.Errorf("gcasm: line %d: empty repeat block", line)
+	}
+	prog.schedule = append(prog.schedule, item)
+	return p.expectNewline()
+}
+
+// --- expressions ---
+
+func (p *parser) parseExpr() (compiledExpr, error) {
+	if p.atIdent("if") {
+		return p.parseIf()
+	}
+	if p.atIdent("let") {
+		return p.parseLet()
+	}
+	return p.parseOr()
+}
+
+// parseLet handles "let NAME = expr in expr". The binding is visible in
+// the body (innermost shadowing outer and builtin names).
+func (p *parser) parseLet() (compiledExpr, error) {
+	line := p.next().line // "let"
+	if !p.at(tokIdent) {
+		return nil, fmt.Errorf("gcasm: line %d: expected binding name after 'let'", line)
+	}
+	name := p.next().text
+	if len(p.lets) >= maxLetDepth {
+		return nil, fmt.Errorf("gcasm: line %d: more than %d nested let-bindings", line, maxLetDepth)
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	val, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atIdent("in") {
+		return nil, fmt.Errorf("gcasm: line %d: expected 'in', got %s", p.cur().line, p.cur())
+	}
+	p.pos++
+	slot := len(p.lets)
+	p.lets = append(p.lets, name)
+	body, err := p.parseExpr()
+	p.lets = p.lets[:slot]
+	if err != nil {
+		return nil, err
+	}
+	return func(e *env, errSlot *error) int64 {
+		e.locals[slot] = val(e, errSlot)
+		return body(e, errSlot)
+	}, nil
+}
+
+func (p *parser) parseIf() (compiledExpr, error) {
+	p.pos++ // "if"
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atIdent("then") {
+		return nil, fmt.Errorf("gcasm: line %d: expected 'then', got %s", p.cur().line, p.cur())
+	}
+	p.pos++
+	thenE, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atIdent("else") {
+		return nil, fmt.Errorf("gcasm: line %d: expected 'else', got %s", p.cur().line, p.cur())
+	}
+	p.pos++
+	elseE, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return func(e *env, errSlot *error) int64 {
+		if cond(e, errSlot) != 0 {
+			return thenE(e, errSlot)
+		}
+		return elseE(e, errSlot)
+	}, nil
+}
+
+func (p *parser) parseOr() (compiledExpr, error) {
+	lhs, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atIdent("or") {
+		line := p.next().line
+		rhs, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		lhs, err = compileBinary("or", lhs, rhs, line)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseAnd() (compiledExpr, error) {
+	lhs, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atIdent("and") {
+		line := p.next().line
+		rhs, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		lhs, err = compileBinary("and", lhs, rhs, line)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseNot() (compiledExpr, error) {
+	if p.atIdent("not") {
+		p.pos++
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return func(e *env, errSlot *error) int64 {
+			if inner(e, errSlot) == 0 {
+				return 1
+			}
+			return 0
+		}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (compiledExpr, error) {
+	lhs, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"==", "!=", "<=", ">=", "<", ">"} {
+		if p.atPunct(op) {
+			line := p.next().line
+			rhs, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return compileBinary(op, lhs, rhs, line)
+		}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseAdd() (compiledExpr, error) {
+	lhs, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("+") || p.atPunct("-") {
+		op := p.next()
+		rhs, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		lhs, err = compileBinary(op.text, lhs, rhs, op.line)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseMul() (compiledExpr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("*") || p.atPunct("/") || p.atPunct("%") {
+		op := p.next()
+		rhs, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		lhs, err = compileBinary(op.text, lhs, rhs, op.line)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseUnary() (compiledExpr, error) {
+	if p.atPunct("-") {
+		p.pos++
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return func(e *env, errSlot *error) int64 { return -inner(e, errSlot) }, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (compiledExpr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.pos++
+		var v int64
+		fmt.Sscanf(t.text, "%d", &v)
+		return func(*env, *error) int64 { return v }, nil
+	case t.kind == tokIdent && t.text == "if":
+		return p.parseIf()
+	case t.kind == tokIdent:
+		p.pos++
+		// Let-bindings shadow builtin names, innermost first.
+		if !p.atPunct("(") {
+			for i := len(p.lets) - 1; i >= 0; i-- {
+				if p.lets[i] == t.text {
+					slot := i
+					return func(e *env, _ *error) int64 { return e.locals[slot] }, nil
+				}
+			}
+		}
+		if p.atPunct("(") {
+			p.pos++
+			var args []compiledExpr
+			for {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, arg)
+				if p.atPunct(",") {
+					p.pos++
+					continue
+				}
+				break
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return compileCall(t.text, args, t.line)
+		}
+		return compileVar(t.text, t.line)
+	case t.kind == tokPunct && t.text == "(":
+		p.pos++
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	default:
+		return nil, fmt.Errorf("gcasm: line %d: unexpected %s in expression", t.line, t)
+	}
+}

@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkGnp(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < b.N; i++ {
+				Gnp(n, 0.5, rng)
+			}
+		})
+	}
+}
+
+func BenchmarkConnectedComponentsBaselines(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := Gnp(512, 0.05, rng)
+	b.Run("unionfind", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ConnectedComponentsUnionFind(g)
+		}
+	})
+	b.Run("bfs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ConnectedComponentsBFS(g)
+		}
+	})
+	b.Run("dfs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ConnectedComponentsDFS(g)
+		}
+	})
+}
+
+func BenchmarkBitMatrixRowIndices(b *testing.B) {
+	m := NewBitMatrix(1, 4096)
+	for c := 0; c < 4096; c += 3 {
+		m.Set(0, c, true)
+	}
+	var idx []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx = m.RowIndices(0, idx[:0])
+	}
+	_ = idx
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 4096
+	pairs := make([][2]int, 8192)
+	for i := range pairs {
+		pairs[i] = [2]int{rng.Intn(n), rng.Intn(n)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		uf := NewUnionFind(n)
+		for _, p := range pairs {
+			if p[0] != p[1] {
+				uf.Union(p[0], p[1])
+			}
+		}
+	}
+}
+
+func BenchmarkIsValidComponentLabelling(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g := Gnp(256, 0.1, rng)
+	labels := ConnectedComponentsBFS(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !IsValidComponentLabelling(g, labels) {
+			b.Fatal("checker rejected valid labelling")
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package graph
+
+// Sequential connected-component baselines. All three baselines (BFS, DFS,
+// union-find) use the paper's labelling convention: every vertex is
+// labelled with the smallest vertex index of its component (the "super
+// node"). They serve as independent ground truths for the parallel models.
+
+// ConnectedComponentsBFS labels components by breadth-first search from
+// each unvisited vertex in increasing index order, so the search root is
+// automatically the component's super node.
+func ConnectedComponentsBFS(g *Graph) []int {
+	n := g.N()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	queue := make([]int, 0, n)
+	var idx []int
+	for s := 0; s < n; s++ {
+		if labels[s] != -1 {
+			continue
+		}
+		labels[s] = s
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			idx = g.Adjacency().RowIndices(u, idx[:0])
+			for _, v := range idx {
+				if labels[v] == -1 {
+					labels[v] = s
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return labels
+}
+
+// ConnectedComponentsDFS labels components by iterative depth-first search
+// (explicit stack; no recursion so million-vertex paths cannot overflow).
+func ConnectedComponentsDFS(g *Graph) []int {
+	n := g.N()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	stack := make([]int, 0, n)
+	var idx []int
+	for s := 0; s < n; s++ {
+		if labels[s] != -1 {
+			continue
+		}
+		labels[s] = s
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			idx = g.Adjacency().RowIndices(u, idx[:0])
+			for _, v := range idx {
+				if labels[v] == -1 {
+					labels[v] = s
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	return labels
+}
+
+// ComponentCount returns the number of distinct labels in a labelling.
+func ComponentCount(labels []int) int {
+	seen := make(map[int]struct{}, len(labels))
+	for _, l := range labels {
+		seen[l] = struct{}{}
+	}
+	return len(seen)
+}
+
+// ComponentSizes returns, for each distinct label, the number of vertices
+// carrying it, keyed by label.
+func ComponentSizes(labels []int) map[int]int {
+	sizes := make(map[int]int)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	return sizes
+}
+
+// SamePartition reports whether two labelings induce the same partition of
+// vertices into components, regardless of which representative each
+// labelling chose. Both must have the same length.
+func SamePartition(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	aToB := make(map[int]int, len(a))
+	bToA := make(map[int]int, len(b))
+	for i := range a {
+		if mapped, ok := aToB[a[i]]; ok {
+			if mapped != b[i] {
+				return false
+			}
+		} else {
+			aToB[a[i]] = b[i]
+		}
+		if mapped, ok := bToA[b[i]]; ok {
+			if mapped != a[i] {
+				return false
+			}
+		} else {
+			bToA[b[i]] = a[i]
+		}
+	}
+	return true
+}
+
+// CanonicalLabels rewrites a labelling so every vertex carries the minimum
+// vertex index of its label class — the paper's super-node convention.
+// The input is not modified.
+func CanonicalLabels(labels []int) []int {
+	minOf := make(map[int]int, len(labels))
+	for v, l := range labels {
+		if cur, ok := minOf[l]; !ok || v < cur {
+			minOf[l] = v
+		}
+	}
+	out := make([]int, len(labels))
+	for v, l := range labels {
+		out[v] = minOf[l]
+	}
+	return out
+}
+
+// IsValidComponentLabelling verifies that labels is exactly the super-node
+// labelling of g: endpoints of every edge share a label, every label class
+// is internally connected, and every label is the minimum index of its
+// class. It is a self-contained checker (its own flood fill) that does not
+// reuse any of the baseline implementations, so property tests can pit the
+// baselines and the parallel models against it independently.
+func IsValidComponentLabelling(g *Graph, labels []int) bool {
+	n := g.N()
+	if len(labels) != n {
+		return false
+	}
+	// 1. Edge endpoints agree.
+	var idx []int
+	for u := 0; u < n; u++ {
+		idx = g.Adjacency().RowIndices(u, idx[:0])
+		for _, v := range idx {
+			if labels[u] != labels[v] {
+				return false
+			}
+		}
+	}
+	// 2. Each label is the minimum index of its class, and the minimum
+	// labels itself.
+	minOf := make(map[int]int, n)
+	for v, l := range labels {
+		if cur, ok := minOf[l]; !ok || v < cur {
+			minOf[l] = v
+		}
+	}
+	for l, m := range minOf {
+		if l != m {
+			return false
+		}
+	}
+	// 3. Each class is internally connected: flood fill from each label
+	// vertex must reach every member of the class.
+	visited := make([]bool, n)
+	stack := make([]int, 0, n)
+	for l := range minOf {
+		reached := 0
+		visited[l] = true
+		stack = append(stack[:0], l)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			reached++
+			idx = g.Adjacency().RowIndices(u, idx[:0])
+			for _, v := range idx {
+				if !visited[v] {
+					visited[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		size := 0
+		for _, lv := range labels {
+			if lv == l {
+				size++
+			}
+		}
+		if reached != size {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,238 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// The generators in this file produce the workloads used by the
+// reproduction's tests, examples and benchmarks. Every generator takes an
+// explicit *rand.Rand (or is deterministic), so experiments are repeatable.
+
+// Gnp returns an Erdős–Rényi random graph G(n, p): each of the n(n-1)/2
+// possible edges is present independently with probability p.
+//
+// Hirschberg's algorithm is work-optimal for dense graphs (m = Θ(n²)), so
+// the paper-faithful regime is constant p; sparse regimes use p ~ c/n.
+func Gnp(n int, p float64, rng *rand.Rand) *Graph {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("graph: edge probability %v out of [0,1]", p))
+	}
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// PlantedComponents returns a graph with exactly k connected components of
+// near-equal size. Within each component, a random spanning tree guarantees
+// connectivity and every additional pair is connected with probability p.
+// It panics unless 1 ≤ k ≤ n (k = 0 is allowed only when n = 0).
+func PlantedComponents(n, k int, p float64, rng *rand.Rand) *Graph {
+	if n == 0 && k == 0 {
+		return New(0)
+	}
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("graph: cannot plant %d components in %d vertices", k, n))
+	}
+	g := New(n)
+	// Shuffle the vertices so component membership is not contiguous —
+	// exercises the algorithm's global pointer chasing rather than locality.
+	perm := rng.Perm(n)
+	for c := 0; c < k; c++ {
+		// Members of component c: perm[i] for i ≡ c (mod k).
+		var members []int
+		for i := c; i < n; i += k {
+			members = append(members, perm[i])
+		}
+		// Random spanning tree (random attachment).
+		for i := 1; i < len(members); i++ {
+			g.AddEdge(members[i], members[rng.Intn(i)])
+		}
+		// Extra intra-component density.
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				if rng.Float64() < p {
+					g.AddEdge(members[i], members[j])
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Path returns the path graph 0–1–2–…–(n-1).
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle graph on n vertices (n ≥ 3 for a proper cycle;
+// smaller n degrade gracefully to a path/edge/point).
+func Cycle(n int) *Graph {
+	g := Path(n)
+	if n >= 3 {
+		g.AddEdge(n-1, 0)
+	}
+	return g
+}
+
+// Star returns the star graph with centre 0 and n-1 leaves.
+func Star(n int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n — the densest input, and the
+// adversarial case for read congestion (every cell's row minimum is
+// contested).
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Grid returns the rows×cols 4-neighbour grid graph. Vertex (r,c) has index
+// r*cols + c. Grid graphs drive the image-segmentation and percolation
+// examples.
+func Grid(rows, cols int) *Graph {
+	g := New(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := r*cols + c
+			if c+1 < cols {
+				g.AddEdge(v, v+1)
+			}
+			if r+1 < rows {
+				g.AddEdge(v, v+cols)
+			}
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b}: vertices 0..a-1 on one side and
+// a..a+b-1 on the other, all cross edges present.
+func CompleteBipartite(a, b int) *Graph {
+	g := New(a + b)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Caterpillar returns a caterpillar tree: a spine path of length spine with
+// legs leaves attached to each spine vertex. Deep trees with many leaves
+// stress the pointer-jumping phase (generations 10/11).
+func Caterpillar(spine, legs int) *Graph {
+	n := spine + spine*legs
+	g := New(n)
+	for i := 0; i+1 < spine; i++ {
+		g.AddEdge(i, i+1)
+	}
+	next := spine
+	for i := 0; i < spine; i++ {
+		for l := 0; l < legs; l++ {
+			g.AddEdge(i, next)
+			next++
+		}
+	}
+	return g
+}
+
+// DisjointCliques returns k disjoint cliques of size size each — the
+// paper's "several non connected components" starting condition in its
+// purest form (each component resolves in a single iteration).
+func DisjointCliques(k, size int) *Graph {
+	g := New(k * size)
+	for c := 0; c < k; c++ {
+		base := c * size
+		for u := 0; u < size; u++ {
+			for v := u + 1; v < size; v++ {
+				g.AddEdge(base+u, base+v)
+			}
+		}
+	}
+	return g
+}
+
+// BinaryTree returns the complete binary tree on n vertices with root 0
+// (children of i at 2i+1 and 2i+2). Trees maximise the number of merge
+// iterations the algorithm needs.
+func BinaryTree(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		if l := 2*i + 1; l < n {
+			g.AddEdge(i, l)
+		}
+		if r := 2*i + 2; r < n {
+			g.AddEdge(i, r)
+		}
+	}
+	return g
+}
+
+// MatchingChain returns n vertices with edges pairing 2i and 2i+1 — worst
+// case for the "components at least halve" bound: exactly ⌈n/2⌉ components
+// after one iteration from n singletons.
+func MatchingChain(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i += 2 {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Empty returns the edgeless graph on n vertices (n components).
+func Empty(n int) *Graph { return New(n) }
+
+// Hypercube returns the d-dimensional hypercube graph Q_d on 2^d
+// vertices: u and v are adjacent iff their indices differ in exactly one
+// bit. Hypercube algorithms are one of the paper's listed GCA application
+// classes.
+func Hypercube(d int) *Graph {
+	if d < 0 || d > 24 {
+		panic(fmt.Sprintf("graph: hypercube dimension %d out of range", d))
+	}
+	n := 1 << uint(d)
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for b := 0; b < d; b++ {
+			v := u ^ (1 << uint(b))
+			if v > u {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// RandomSpanningForest returns a forest with the given number of trees
+// covering n vertices, attachment-random (each non-root vertex picks a
+// random earlier vertex in its tree).
+func RandomSpanningForest(n, trees int, rng *rand.Rand) *Graph {
+	if n == 0 && trees == 0 {
+		return New(0)
+	}
+	if trees < 1 || trees > n {
+		panic(fmt.Sprintf("graph: cannot build %d trees on %d vertices", trees, n))
+	}
+	return PlantedComponents(n, trees, 0, rng)
+}

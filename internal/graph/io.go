@@ -1,0 +1,229 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Text formats supported by the CLI tools:
+//
+//   - "matrix": n lines of n '0'/'1' characters — the paper's adjacency
+//     matrix A verbatim. Blank lines and lines starting with '#' are
+//     ignored.
+//   - "edges": a header line "n m" followed by m lines "u v" — the common
+//     edge-list exchange format.
+//
+// Both parsers validate symmetry/self-loop constraints and return errors
+// (never panic) on malformed input.
+//
+// Because the dense adjacency representation costs n² bits, the parsers
+// refuse inputs above MaxParseVertices: untrusted input must not be able
+// to demand gigabytes with a two-token header. Construct larger graphs
+// programmatically via New/AddEdge if you really need them.
+
+// MaxParseVertices is the largest vertex count the text parsers accept
+// (n² bits ≈ 32 MiB of adjacency at the cap).
+const MaxParseVertices = 16384
+
+// WriteMatrix writes g in "matrix" format.
+func WriteMatrix(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(g.String()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadMatrix parses "matrix" format. The number of vertices is inferred
+// from the first data line.
+func ReadMatrix(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	var rows []string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rows = append(rows, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading matrix: %w", err)
+	}
+	n := len(rows)
+	if n == 0 {
+		return New(0), nil
+	}
+	if n > MaxParseVertices {
+		return nil, fmt.Errorf("graph: matrix has %d rows, parser cap is %d", n, MaxParseVertices)
+	}
+	for i, row := range rows {
+		if len(row) != n {
+			return nil, fmt.Errorf("graph: matrix row %d has %d columns, want %d", i, len(row), n)
+		}
+		for j := 0; j < n; j++ {
+			switch row[j] {
+			case '0', '1':
+			default:
+				return nil, fmt.Errorf("graph: matrix row %d has invalid character %q", i, row[j])
+			}
+		}
+		if row[i] == '1' {
+			return nil, fmt.Errorf("graph: matrix has self-loop at vertex %d", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rows[i][j] != rows[j][i] {
+				return nil, fmt.Errorf("graph: matrix asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rows[i][j] == '1' {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g, nil
+}
+
+// WriteWeightedEdgeList writes a weighted graph as a "n m" header
+// followed by "u v w" lines.
+func WriteWeightedEdgeList(w io.Writer, g *Weighted) error {
+	bw := bufio.NewWriter(w)
+	edges := g.Edges()
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), len(edges)); err != nil {
+		return err
+	}
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d %d %d\n", e.U, e.V, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadWeightedEdgeList parses the weighted "u v w" edge-list format.
+func ReadWeightedEdgeList(r io.Reader) (*Weighted, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	var n, m int
+	header := false
+	var g *Weighted
+	read := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !header {
+			if _, err := fmt.Sscanf(line, "%d %d", &n, &m); err != nil {
+				return nil, fmt.Errorf("graph: bad weighted header %q: %w", line, err)
+			}
+			if n < 0 || m < 0 {
+				return nil, fmt.Errorf("graph: negative counts in header %q", line)
+			}
+			if n > MaxParseVertices {
+				return nil, fmt.Errorf("graph: header asks for %d vertices, parser cap is %d", n, MaxParseVertices)
+			}
+			g = NewWeighted(n)
+			header = true
+			continue
+		}
+		var u, v int
+		var w int64
+		if _, err := fmt.Sscanf(line, "%d %d %d", &u, &v, &w); err != nil {
+			return nil, fmt.Errorf("graph: bad weighted edge line %q: %w", line, err)
+		}
+		if u < 0 || u >= n || v < 0 || v >= n || u == v {
+			return nil, fmt.Errorf("graph: invalid edge (%d,%d)", u, v)
+		}
+		if w <= 0 {
+			return nil, fmt.Errorf("graph: non-positive weight %d on edge (%d,%d)", w, u, v)
+		}
+		g.AddEdge(u, v, w)
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading weighted edge list: %w", err)
+	}
+	if !header {
+		return nil, fmt.Errorf("graph: empty weighted edge-list input")
+	}
+	if read != m {
+		return nil, fmt.Errorf("graph: header promised %d edges, got %d", m, read)
+	}
+	return g, nil
+}
+
+// WriteEdgeList writes g in "edges" format.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	edges := g.Edges()
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), len(edges)); err != nil {
+		return err
+	}
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses "edges" format.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	var n, m int
+	header := false
+	g := (*Graph)(nil)
+	read := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !header {
+			if _, err := fmt.Sscanf(line, "%d %d", &n, &m); err != nil {
+				return nil, fmt.Errorf("graph: bad edge-list header %q: %w", line, err)
+			}
+			if n < 0 || m < 0 {
+				return nil, fmt.Errorf("graph: negative counts in header %q", line)
+			}
+			if n > MaxParseVertices {
+				return nil, fmt.Errorf("graph: header asks for %d vertices, parser cap is %d", n, MaxParseVertices)
+			}
+			g = New(n)
+			header = true
+			continue
+		}
+		var u, v int
+		if _, err := fmt.Sscanf(line, "%d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("graph: bad edge line %q: %w", line, err)
+		}
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("graph: self-loop (%d,%d)", u, v)
+		}
+		g.AddEdge(u, v)
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	if !header {
+		return nil, fmt.Errorf("graph: empty edge-list input")
+	}
+	if read != m {
+		return nil, fmt.Errorf("graph: header promised %d edges, got %d", m, read)
+	}
+	return g, nil
+}

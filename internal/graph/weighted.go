@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Weighted is an undirected graph with positive integer edge weights,
+// stored densely (weight 0 = no edge) to match the reproduction's dense
+// adjacency representation. It backs the minimum-spanning-forest
+// extension algorithms.
+type Weighted struct {
+	n int
+	w []int64 // n×n, row-major; 0 = absent; symmetric
+}
+
+// NewWeighted returns an edgeless weighted graph on n vertices.
+func NewWeighted(n int) *Weighted {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	return &Weighted{n: n, w: make([]int64, n*n)}
+}
+
+// N returns the vertex count.
+func (g *Weighted) N() int { return g.n }
+
+// AddEdge inserts {u, v} with weight w > 0 (overwriting any previous
+// weight). It panics on out-of-range vertices, self-loops, or w ≤ 0.
+func (g *Weighted) AddEdge(u, v int, w int64) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at %d", u))
+	}
+	if w <= 0 {
+		panic(fmt.Sprintf("graph: non-positive weight %d", w))
+	}
+	g.w[u*g.n+v] = w
+	g.w[v*g.n+u] = w
+}
+
+// Weight returns the weight of {u, v}, or 0 if absent.
+func (g *Weighted) Weight(u, v int) int64 {
+	g.check(u)
+	g.check(v)
+	return g.w[u*g.n+v]
+}
+
+// M returns the edge count.
+func (g *Weighted) M() int {
+	m := 0
+	for u := 0; u < g.n; u++ {
+		for v := u + 1; v < g.n; v++ {
+			if g.w[u*g.n+v] > 0 {
+				m++
+			}
+		}
+	}
+	return m
+}
+
+// WeightedEdge is an undirected weighted edge with U < V.
+type WeightedEdge struct {
+	U, V int
+	W    int64
+}
+
+// Edges returns all edges ordered by (U, V).
+func (g *Weighted) Edges() []WeightedEdge {
+	var edges []WeightedEdge
+	for u := 0; u < g.n; u++ {
+		for v := u + 1; v < g.n; v++ {
+			if w := g.w[u*g.n+v]; w > 0 {
+				edges = append(edges, WeightedEdge{U: u, V: v, W: w})
+			}
+		}
+	}
+	return edges
+}
+
+// Unweighted returns the underlying topology as a Graph.
+func (g *Weighted) Unweighted() *Graph {
+	out := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for v := u + 1; v < g.n; v++ {
+			if g.w[u*g.n+v] > 0 {
+				out.AddEdge(u, v)
+			}
+		}
+	}
+	return out
+}
+
+func (g *Weighted) check(u int) {
+	if u < 0 || u >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", u, g.n))
+	}
+}
+
+// RandomWeighted returns a G(n,p) topology with distinct random weights —
+// distinct weights make the minimum spanning forest unique, which the
+// cross-implementation tests rely on.
+func RandomWeighted(n int, p float64, rng *rand.Rand) *Weighted {
+	g := NewWeighted(n)
+	maxEdges := n * (n - 1) / 2
+	weights := rng.Perm(maxEdges)
+	k := 0
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v, int64(weights[k])+1)
+			}
+			k++
+		}
+	}
+	return g
+}
+
+// MSF is a minimum spanning forest: the chosen edges and their total
+// weight.
+type MSF struct {
+	Edges  []WeightedEdge
+	Weight int64
+}
+
+// canonical sorts the edge list by (U, V) for comparisons.
+func (f *MSF) canonical() {
+	sort.Slice(f.Edges, func(i, j int) bool {
+		if f.Edges[i].U != f.Edges[j].U {
+			return f.Edges[i].U < f.Edges[j].U
+		}
+		return f.Edges[i].V < f.Edges[j].V
+	})
+}
+
+// Equal reports whether two forests pick the same edge set.
+func (f *MSF) Equal(o *MSF) bool {
+	if f.Weight != o.Weight || len(f.Edges) != len(o.Edges) {
+		return false
+	}
+	f.canonical()
+	o.canonical()
+	for i := range f.Edges {
+		if f.Edges[i] != o.Edges[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// KruskalMSF computes the minimum spanning forest sequentially: edges in
+// increasing weight order, union-find cycle detection. With distinct
+// weights the result is the unique MSF.
+func KruskalMSF(g *Weighted) *MSF {
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool { return edges[i].W < edges[j].W })
+	uf := NewUnionFind(g.N())
+	out := &MSF{}
+	for _, e := range edges {
+		if uf.Union(e.U, e.V) {
+			out.Edges = append(out.Edges, e)
+			out.Weight += e.W
+		}
+	}
+	out.canonical()
+	return out
+}

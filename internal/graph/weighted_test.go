@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWeightedAddAndQuery(t *testing.T) {
+	g := NewWeighted(4)
+	g.AddEdge(0, 3, 7)
+	if g.N() != 4 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.Weight(0, 3) != 7 || g.Weight(3, 0) != 7 {
+		t.Fatal("weight not symmetric")
+	}
+	if g.Weight(1, 2) != 0 {
+		t.Fatal("phantom edge")
+	}
+	g.AddEdge(0, 3, 9) // overwrite
+	if g.Weight(0, 3) != 9 {
+		t.Fatal("overwrite failed")
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+}
+
+func TestWeightedEdgesOrder(t *testing.T) {
+	g := NewWeighted(4)
+	g.AddEdge(2, 3, 5)
+	g.AddEdge(0, 1, 4)
+	edges := g.Edges()
+	if len(edges) != 2 || edges[0].U != 0 || edges[1].U != 2 {
+		t.Fatalf("edges = %v", edges)
+	}
+}
+
+func TestWeightedUnweightedView(t *testing.T) {
+	g := NewWeighted(3)
+	g.AddEdge(0, 2, 11)
+	u := g.Unweighted()
+	if !u.HasEdge(0, 2) || u.HasEdge(0, 1) || u.N() != 3 {
+		t.Fatal("unweighted view wrong")
+	}
+}
+
+func TestWeightedPanics(t *testing.T) {
+	g := NewWeighted(3)
+	for name, f := range map[string]func(){
+		"selfLoop":  func() { g.AddEdge(1, 1, 2) },
+		"zeroW":     func() { g.AddEdge(0, 1, 0) },
+		"negW":      func() { g.AddEdge(0, 1, -2) },
+		"range":     func() { g.AddEdge(0, 9, 1) },
+		"weightOOB": func() { g.Weight(9, 0) },
+		"negN":      func() { NewWeighted(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestKruskalKnown(t *testing.T) {
+	g := NewWeighted(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(0, 2, 3)
+	g.AddEdge(2, 3, 4)
+	f := KruskalMSF(g)
+	if f.Weight != 7 || len(f.Edges) != 3 {
+		t.Fatalf("MSF = %+v", f)
+	}
+	// The weight-3 edge closes a cycle and must be excluded.
+	for _, e := range f.Edges {
+		if e.W == 3 {
+			t.Fatal("cycle edge selected")
+		}
+	}
+}
+
+func TestKruskalForest(t *testing.T) {
+	// Disconnected: spanning forest with n - components edges.
+	g := NewWeighted(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(3, 4, 3)
+	f := KruskalMSF(g)
+	if len(f.Edges) != 3 || f.Weight != 6 {
+		t.Fatalf("forest = %+v", f)
+	}
+}
+
+func TestMSFEqual(t *testing.T) {
+	a := &MSF{Edges: []WeightedEdge{{0, 1, 2}, {1, 2, 3}}, Weight: 5}
+	b := &MSF{Edges: []WeightedEdge{{1, 2, 3}, {0, 1, 2}}, Weight: 5}
+	if !a.Equal(b) {
+		t.Fatal("order-insensitive equality failed")
+	}
+	c := &MSF{Edges: []WeightedEdge{{0, 1, 2}}, Weight: 2}
+	if a.Equal(c) {
+		t.Fatal("different forests equal")
+	}
+	d := &MSF{Edges: []WeightedEdge{{0, 1, 2}, {1, 3, 3}}, Weight: 5}
+	if a.Equal(d) {
+		t.Fatal("same weight, different edges equal")
+	}
+}
+
+func TestRandomWeightedProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := RandomWeighted(15, 0.6, rng)
+	seen := map[int64]bool{}
+	for _, e := range g.Edges() {
+		if e.W <= 0 {
+			t.Fatal("non-positive weight")
+		}
+		if seen[e.W] {
+			t.Fatal("duplicate weight")
+		}
+		seen[e.W] = true
+	}
+}
+
+func TestOrRowInto(t *testing.T) {
+	m := NewBitMatrix(2, 130)
+	m.Set(0, 0, true)
+	m.Set(1, 129, true)
+	m.Set(1, 64, true)
+	m.OrRowInto(0, 1)
+	if !m.Get(0, 0) || !m.Get(0, 64) || !m.Get(0, 129) {
+		t.Fatal("OR missed bits")
+	}
+	if m.Get(1, 0) {
+		t.Fatal("source row modified")
+	}
+}

@@ -1,0 +1,127 @@
+package hw
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gcacc/internal/graph"
+)
+
+func TestVerilogStructure(t *testing.T) {
+	g := graph.Gnp(16, 0.3, rand.New(rand.NewSource(91)))
+	v := GenerateVerilog(g)
+
+	if strings.Count(v, "module ") != 1 || strings.Count(v, "endmodule") != 1 {
+		t.Fatal("module/endmodule count wrong")
+	}
+	for _, frag := range []string{
+		"module gca_hirschberg_n16",
+		"localparam integer N     = 16;",
+		"localparam integer W     = 8;",
+		"localparam integer CELLS = 272;",
+		"localparam integer LOGN  = 4;",
+		"reg [W-1:0] d [0:CELLS-1];",
+		"function a_bit;",
+		"function [W-1:0] global_in;",
+		"function [W-1:0] next_d;",
+		"always @(posedge clk)",
+		"endmodule",
+	} {
+		if !strings.Contains(v, frag) {
+			t.Errorf("generated Verilog missing %q", frag)
+		}
+	}
+	// Every generation constant present.
+	for gen := 0; gen <= 11; gen++ {
+		if !strings.Contains(v, fmt.Sprintf("4'd%d;", gen)) {
+			t.Errorf("generation constant G%d missing", gen)
+		}
+	}
+	// Balanced begin/end (functions + always block), counted as tokens so
+	// comment words like "ended" don't skew the tally.
+	tokens := strings.FieldsFunc(v, func(r rune) bool {
+		return !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9')
+	})
+	count := map[string]int{}
+	for _, tok := range tokens {
+		count[tok]++
+	}
+	if count["begin"] != count["end"] {
+		t.Errorf("begin/end imbalance: %d begins, %d ends", count["begin"], count["end"])
+	}
+	if count["case"] != count["endcase"] || count["endcase"] != 3 {
+		t.Errorf("case/endcase counts = %d/%d, want 3/3", count["case"], count["endcase"])
+	}
+	if count["function"] != count["endfunction"] {
+		t.Errorf("function/endfunction imbalance")
+	}
+}
+
+func TestVerilogAdjacencyBakedIn(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(1, 2)
+	v := GenerateVerilog(g)
+	// A(1,2) is linear 1·4+2 = 6; A(2,1) is 2·4+1 = 9. Both 1-entries
+	// must appear as case labels of a_bit.
+	if !strings.Contains(v, "6, 9: a_bit = 1'b1;") {
+		t.Fatalf("adjacency 1-entries not baked in:\n%s", sectionAround(v, "a_bit"))
+	}
+}
+
+func TestVerilogEmptyAdjacency(t *testing.T) {
+	v := GenerateVerilog(graph.Empty(4))
+	if !strings.Contains(v, "default: a_bit = 1'b0;") {
+		t.Fatal("default a_bit missing")
+	}
+	if strings.Contains(v, "a_bit = 1'b1") {
+		t.Fatal("edgeless graph emitted 1-entries")
+	}
+}
+
+func TestVerilogDeterministic(t *testing.T) {
+	g := graph.Cycle(8)
+	if GenerateVerilog(g) != GenerateVerilog(g) {
+		t.Fatal("emitter not deterministic")
+	}
+}
+
+func TestVerilogCaseLabelGrouping(t *testing.T) {
+	// A complete graph on 8 nodes has 56 one-entries; they must be split
+	// into case lines of at most 8 labels.
+	v := GenerateVerilog(graph.Complete(8))
+	for _, line := range strings.Split(v, "\n") {
+		if strings.Contains(line, "a_bit = 1'b1") {
+			if n := strings.Count(line, ",") + 1; n > 8 {
+				t.Fatalf("case line with %d labels: %s", n, line)
+			}
+		}
+	}
+}
+
+func TestVerilogWidthScales(t *testing.T) {
+	v := GenerateVerilog(graph.Path(200))
+	if !strings.Contains(v, "localparam integer W     = 16;") {
+		t.Fatal("data width did not scale to 16 bits at n = 200")
+	}
+}
+
+// sectionAround returns the ±5 lines around the first occurrence of
+// needle, for failure messages.
+func sectionAround(s, needle string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		if strings.Contains(l, needle) {
+			lo, hi := i-5, i+5
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > len(lines) {
+				hi = len(lines)
+			}
+			return strings.Join(lines[lo:hi], "\n")
+		}
+	}
+	return s
+}

@@ -1,0 +1,26 @@
+package mparch
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gcacc/internal/graph"
+)
+
+func BenchmarkMultiprocessorModel(b *testing.B) {
+	g := graph.Gnp(32, 0.5, rand.New(rand.NewSource(5)))
+	for _, p := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				res, err := RunHirschberg(g, Config{Processors: p, Banks: 8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Costs.Cycles
+			}
+			b.ReportMetric(float64(cycles), "arch-cycles")
+		})
+	}
+}

@@ -1,0 +1,155 @@
+// Package mparch models the multiprocessor GCA architecture of the
+// paper's reference [4] (Heenes, Hoffmann, Jendrsczok: "A multiprocessor
+// architecture for the massively parallel model GCA", IPDPS/SMTPS 2006):
+// p processors, each sequentially simulating a contiguous slice of the
+// cell field, synchronised by a barrier per generation, with the cell
+// states held in b interleaved memory banks.
+//
+// This is the GCA-side counterpart of Brent's theorem (which the PRAM
+// simulator models with WithPhysicalProcessors): instead of one hardware
+// cell per model cell (the Section-4 FPGA), a fixed machine executes
+// P(n)/p cells per processor per generation. The cost model charges, per
+// generation,
+//
+//	cycles = max over processors of Σ_cells (1 + reads·bankPenalty(cell))
+//
+// where a global read costs an extra cycle when its target lies in a bank
+// that another read of the same processor-step already used (a simple
+// interleaved-bank conflict model). The functional result is exactly the
+// abstract machine's — the architecture only changes the cost — and the
+// tests enforce both the equivalence and the expected speedup shape.
+package mparch
+
+import (
+	"fmt"
+
+	"gcacc/internal/core"
+	"gcacc/internal/gca"
+	"gcacc/internal/graph"
+)
+
+// Config describes the modelled machine.
+type Config struct {
+	// Processors is p, the number of physical processors (≥ 1).
+	Processors int
+	// Banks is b, the number of interleaved memory banks (≥ 1). Cell i
+	// lives in bank i mod b.
+	Banks int
+}
+
+// Costs is the architecture-level accounting of one program run.
+type Costs struct {
+	// Generations is the number of synchronous generations executed.
+	Generations int
+	// Cycles is the modelled execution time: per generation, the slowest
+	// processor's cycle count (barrier synchronisation).
+	Cycles int64
+	// BankConflicts counts reads delayed by a bank conflict.
+	BankConflicts int64
+	// Reads is the total number of global reads.
+	Reads int64
+}
+
+// Result of a run.
+type Result struct {
+	Labels []int
+	Costs  Costs
+}
+
+// costObserver accumulates the architecture cost model from the abstract
+// machine's pointer capture: per generation, cells are assigned
+// round-robin slices to processors; each processor executes its cells
+// sequentially, paying one cycle per cell plus one extra cycle per
+// bank-conflicting read within its own instruction stream window.
+type costObserver struct {
+	cfg   Config
+	costs Costs
+	// bankBusy[b] marks the last processor-local cell index (window) that
+	// used bank b; reused across generations.
+	bankBusy []int64
+	stamp    int64
+}
+
+func (o *costObserver) OnStep(f *gca.Field, s *gca.StepStats) {
+	o.costs.Generations++
+	n := len(s.Pointers)
+	p := o.cfg.Processors
+	chunk := (n + p - 1) / p
+	var worst int64
+	for proc := 0; proc < p; proc++ {
+		lo, hi := proc*chunk, (proc+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		var cycles int64
+		for i := lo; i < hi; i++ {
+			cycles++ // the cell's compute cycle
+			ptr := s.Pointers[i]
+			if ptr == int32(gca.NoRead) {
+				continue
+			}
+			o.costs.Reads++
+			cycles++ // the read access itself
+			bank := int(ptr) % o.cfg.Banks
+			// Conflict when the previous access of this processor in
+			// this generation used the same bank (interleaved pipeline
+			// of depth 1).
+			o.stamp++
+			if o.bankBusy[bank] == o.stamp-1 {
+				cycles++
+				o.costs.BankConflicts++
+			}
+			o.bankBusy[bank] = o.stamp
+		}
+		if cycles > worst {
+			worst = cycles
+		}
+	}
+	o.costs.Cycles += worst
+}
+
+// RunHirschberg executes the paper's program on the modelled
+// multiprocessor and returns the labels plus the architecture costs.
+func RunHirschberg(g *graph.Graph, cfg Config) (*Result, error) {
+	if cfg.Processors < 1 {
+		return nil, fmt.Errorf("mparch: processors must be ≥ 1, got %d", cfg.Processors)
+	}
+	if cfg.Banks < 1 {
+		return nil, fmt.Errorf("mparch: banks must be ≥ 1, got %d", cfg.Banks)
+	}
+	obs := &costObserver{
+		cfg:      cfg,
+		bankBusy: make([]int64, cfg.Banks),
+	}
+	for i := range obs.bankBusy {
+		obs.bankBusy[i] = -10
+	}
+	res, err := core.Run(g, core.Options{
+		CapturePointers: true,
+		Observer:        obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Labels: res.Labels, Costs: obs.costs}, nil
+}
+
+// Speedup returns T(1 processor) / T(p processors) for the same workload
+// and bank count.
+func Speedup(g *graph.Graph, p, banks int) (float64, error) {
+	one, err := RunHirschberg(g, Config{Processors: 1, Banks: banks})
+	if err != nil {
+		return 0, err
+	}
+	many, err := RunHirschberg(g, Config{Processors: p, Banks: banks})
+	if err != nil {
+		return 0, err
+	}
+	if many.Costs.Cycles == 0 {
+		return 0, fmt.Errorf("mparch: degenerate run")
+	}
+	return float64(one.Costs.Cycles) / float64(many.Costs.Cycles), nil
+}

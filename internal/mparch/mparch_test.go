@@ -1,0 +1,107 @@
+package mparch
+
+import (
+	"math/rand"
+	"testing"
+
+	"gcacc/internal/core"
+	"gcacc/internal/graph"
+)
+
+func TestFunctionalEquivalence(t *testing.T) {
+	// The architecture changes cost, never the answer.
+	rng := rand.New(rand.NewSource(701))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(24)
+		g := graph.Gnp(n, rng.Float64()/2, rng)
+		res, err := RunHirschberg(g, Config{Processors: 1 + rng.Intn(8), Banks: 1 + rng.Intn(8)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.ConnectedComponents(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Labels {
+			if res.Labels[i] != want.Labels[i] {
+				t.Fatalf("trial %d: architecture changed the answer", trial)
+			}
+		}
+	}
+}
+
+func TestGenerationsMatchModel(t *testing.T) {
+	g := graph.Path(16)
+	res, err := RunHirschberg(g, Config{Processors: 4, Banks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Costs.Generations != core.TotalGenerations(16) {
+		t.Fatalf("Generations = %d, want %d", res.Costs.Generations, core.TotalGenerations(16))
+	}
+}
+
+func TestMoreProcessorsNeverSlower(t *testing.T) {
+	g := graph.Gnp(24, 0.4, rand.New(rand.NewSource(703)))
+	var prev int64 = 1 << 62
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		res, err := RunHirschberg(g, Config{Processors: p, Banks: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Costs.Cycles > prev {
+			t.Fatalf("p=%d: %d cycles, slower than p/2's %d", p, res.Costs.Cycles, prev)
+		}
+		prev = res.Costs.Cycles
+	}
+}
+
+func TestSpeedupShape(t *testing.T) {
+	// Doubling processors on a large field should give near-linear
+	// speedup while p ≪ cells; a single processor is the baseline.
+	g := graph.Gnp(32, 0.5, rand.New(rand.NewSource(705)))
+	s2, err := Speedup(g, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 < 1.8 || s2 > 2.2 {
+		t.Fatalf("speedup at p=2 is %.2f, want ≈ 2", s2)
+	}
+	s8, err := Speedup(g, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s8 < 6 {
+		t.Fatalf("speedup at p=8 is %.2f, want ≥ 6", s8)
+	}
+}
+
+func TestMoreBanksFewerConflicts(t *testing.T) {
+	g := graph.Gnp(24, 0.5, rand.New(rand.NewSource(707)))
+	few, err := RunHirschberg(g, Config{Processors: 4, Banks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := RunHirschberg(g, Config{Processors: 4, Banks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a single bank every back-to-back read conflicts; with many
+	// banks conflicts must drop strictly.
+	if few.Costs.BankConflicts <= many.Costs.BankConflicts {
+		t.Fatalf("conflicts: 1 bank %d vs 64 banks %d", few.Costs.BankConflicts, many.Costs.BankConflicts)
+	}
+	if many.Costs.Cycles >= few.Costs.Cycles {
+		t.Fatalf("cycles did not improve with banking: %d vs %d", many.Costs.Cycles, few.Costs.Cycles)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := RunHirschberg(g, Config{Processors: 0, Banks: 1}); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := RunHirschberg(g, Config{Processors: 1, Banks: 0}); err == nil {
+		t.Error("b=0 accepted")
+	}
+}

@@ -1,0 +1,173 @@
+package msf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gcacc/internal/core"
+	"gcacc/internal/graph"
+	"gcacc/internal/pram"
+)
+
+func TestKnownGraph(t *testing.T) {
+	g := graph.NewWeighted(5)
+	g.AddEdge(0, 1, 4)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(1, 3, 2)
+	g.AddEdge(2, 3, 5)
+	g.AddEdge(3, 4, 7)
+	res, err := Run(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MSF.Weight != 13 {
+		t.Fatalf("weight = %d, want 13", res.MSF.Weight)
+	}
+	if !res.MSF.Equal(graph.KruskalMSF(g)) {
+		t.Fatalf("MSF = %+v", res.MSF)
+	}
+}
+
+func TestMatchesKruskalRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1001))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(26)
+		g := graph.RandomWeighted(n, rng.Float64(), rng)
+		res, err := Run(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := graph.KruskalMSF(g)
+		if !res.MSF.Equal(want) {
+			t.Fatalf("trial %d (n=%d): GCA MSF differs:\n got %+v\nwant %+v", trial, n, res.MSF, want)
+		}
+		if !graph.IsValidComponentLabelling(g.Unweighted(), res.Labels) {
+			t.Fatalf("trial %d: labels invalid", trial)
+		}
+	}
+}
+
+func TestMatchesPRAMBoruvka(t *testing.T) {
+	// Both parallel implementations use the same normalised encoding, so
+	// they must agree even with duplicate weights (tie-break identical).
+	rng := rand.New(rand.NewSource(1003))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(20)
+		g := graph.NewWeighted(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.4 {
+					g.AddEdge(u, v, int64(1+rng.Intn(5)))
+				}
+			}
+		}
+		a, err := Run(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := pram.Boruvka(g, pram.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.MSF.Equal(b.MSF) {
+			t.Fatalf("trial %d: GCA and PRAM forests differ:\n gca %+v\npram %+v", trial, a.MSF, b.MSF)
+		}
+	}
+}
+
+func TestQuickMSF(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		g := graph.RandomWeighted(n, rng.Float64()/2, rng)
+		res, err := Run(g, Options{})
+		if err != nil {
+			return false
+		}
+		return res.MSF.Equal(graph.KruskalMSF(g))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedFormParallel(t *testing.T) {
+	// A Borůvka round costs exactly the paper's per-iteration figure, so
+	// a full run is bounded by the Section-3 closed form.
+	for _, n := range []int{4, 16, 32} {
+		if GenerationsPerRound(n) != 3*core.SubGenerations(n)+8 {
+			t.Fatalf("n=%d: per-round formula broken", n)
+		}
+		rng := rand.New(rand.NewSource(int64(n)))
+		g := graph.RandomWeighted(n, 0.5, rng)
+		res, err := Run(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := 1 + core.Iterations(n)*GenerationsPerRound(n)
+		if res.Generations > bound {
+			t.Fatalf("n=%d: %d generations exceed the closed form %d", n, res.Generations, bound)
+		}
+		if res.Generations != 1+res.Rounds*GenerationsPerRound(n) {
+			t.Fatalf("n=%d: %d generations for %d rounds", n, res.Generations, res.Rounds)
+		}
+	}
+}
+
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	g := graph.RandomWeighted(20, 0.4, rand.New(rand.NewSource(1007)))
+	a, err := Run(g, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.MSF.Equal(b.MSF) {
+		t.Fatal("worker count changed the forest")
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	res, err := Run(graph.NewWeighted(0), Options{})
+	if err != nil || len(res.MSF.Edges) != 0 {
+		t.Fatalf("empty: %+v %v", res, err)
+	}
+	res, err = Run(graph.NewWeighted(1), Options{})
+	if err != nil || len(res.Labels) != 1 || res.Labels[0] != 0 {
+		t.Fatalf("single: %+v %v", res, err)
+	}
+}
+
+func TestForestOnDisconnected(t *testing.T) {
+	// Two components: the forest has n−2 edges and spans both.
+	rng := rand.New(rand.NewSource(1009))
+	g := graph.NewWeighted(10)
+	w := int64(1)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 5; v++ {
+			g.AddEdge(u, v, w)
+			w++
+		}
+	}
+	for u := 5; u < 9; u++ {
+		for v := u + 1; v < 10; v++ {
+			g.AddEdge(u, v, w)
+			w++
+		}
+	}
+	_ = rng
+	res, err := Run(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MSF.Edges) != 8 {
+		t.Fatalf("%d forest edges, want 8", len(res.MSF.Edges))
+	}
+	if !res.MSF.Equal(graph.KruskalMSF(g)) {
+		t.Fatal("forest differs from Kruskal")
+	}
+}

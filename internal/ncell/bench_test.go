@@ -1,0 +1,26 @@
+package ncell
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gcacc/internal/graph"
+)
+
+func BenchmarkNCellRun(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		g := graph.Gnp(n, 0.3, rand.New(rand.NewSource(3)))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var gens int
+			for i := 0; i < b.N; i++ {
+				res, err := ConnectedComponents(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gens = res.Generations
+			}
+			b.ReportMetric(float64(gens), "generations")
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkRoutePermutation(b *testing.B) {
+	for _, k := range []int{4, 6, 8} {
+		bf := NewButterfly(k)
+		reqs := make([]Request, bf.Rows())
+		for i := range reqs {
+			reqs[i] = Request{Source: i, Dest: i}
+		}
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bf.Route(reqs, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRouteAllToOne(b *testing.B) {
+	bf := NewButterfly(6)
+	reqs := make([]Request, bf.Rows())
+	for i := range reqs {
+		reqs[i] = Request{Source: i, Dest: 0}
+	}
+	for _, combining := range []bool{false, true} {
+		name := "plain"
+		if combining {
+			name = "combining"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bf.Route(reqs, combining); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHashMap(b *testing.B) {
+	h := NewUniversalHash(1024, rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Map(i)
+	}
+}

@@ -1,0 +1,186 @@
+// Package netsim implements the interconnection-network substrate the
+// paper's Section 1 discussion rests on: a synchronous butterfly network
+// with optional combining of concurrent reads ("Concurrent reading can be
+// handled in certain networks, in particular butterfly networks, by
+// special routing algorithms, e.g. Ranade's algorithm"), and universal
+// hashing of memory addresses onto modules ("the congestion can only get
+// down to a value of O(log p) for hash function classes that can be
+// easily implemented").
+//
+// It exists to make those two claims measurable: the examples and tests
+// route the GCA's actual access patterns through the network and report
+// delivery latency and module congestion with and without each remedy.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Butterfly is a k-level butterfly: 2^k source rows at level 0, 2^k
+// memory modules behind level k. A packet at level l is steered by bit
+// (k-1-l) of its destination: straight keeps the row, cross flips that
+// bit. Every link carries one packet per cycle; each memory module serves
+// one request per cycle.
+type Butterfly struct {
+	k int
+	n int // 2^k
+}
+
+// NewButterfly returns a butterfly with 2^k rows. k must be ≥ 0 and small
+// enough that 2^k fits in an int.
+func NewButterfly(k int) *Butterfly {
+	if k < 0 || k > 30 {
+		panic(fmt.Sprintf("netsim: invalid butterfly order %d", k))
+	}
+	return &Butterfly{k: k, n: 1 << uint(k)}
+}
+
+// Levels returns k.
+func (b *Butterfly) Levels() int { return b.k }
+
+// Rows returns 2^k.
+func (b *Butterfly) Rows() int { return b.n }
+
+// Request is a read request from a source row to a memory module.
+type Request struct {
+	Source int
+	Dest   int
+}
+
+// Stats summarises one routed batch.
+type Stats struct {
+	// Cycles is the number of network cycles until the last request was
+	// served by its memory module.
+	Cycles int
+	// Delivered is the number of module servings (combined packets count
+	// once at the module, as the combined reply fans back out).
+	Delivered int
+	// Combined is the number of packet merges performed en route.
+	Combined int
+	// MaxQueue is the maximum FIFO occupancy observed anywhere.
+	MaxQueue int
+}
+
+// packet is an in-flight read; weight counts how many original requests
+// it represents after combining.
+type packet struct {
+	dest   int
+	weight int
+}
+
+// Route synchronously routes the batch through the network. With
+// combining enabled, packets for the same destination waiting in the same
+// FIFO merge into one (the essence of Ranade-style combining; the reply
+// fan-out is not simulated — replies retrace the combining tree
+// congestion-free). The simulation is deterministic.
+func (b *Butterfly) Route(reqs []Request, combining bool) (Stats, error) {
+	var st Stats
+	for _, r := range reqs {
+		if r.Source < 0 || r.Source >= b.n || r.Dest < 0 || r.Dest >= b.n {
+			return st, fmt.Errorf("netsim: request %+v outside butterfly of %d rows", r, b.n)
+		}
+	}
+	if len(reqs) == 0 {
+		return st, nil
+	}
+
+	// queues[l][r] is the input FIFO of the switch at level l, row r;
+	// queues[k][r] is the memory module r's queue.
+	queues := make([][][]packet, b.k+1)
+	for l := range queues {
+		queues[l] = make([][]packet, b.n)
+	}
+	// Deterministic injection order: by source, then dest.
+	ordered := append([]Request(nil), reqs...)
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].Source != ordered[j].Source {
+			return ordered[i].Source < ordered[j].Source
+		}
+		return ordered[i].Dest < ordered[j].Dest
+	})
+	for _, r := range ordered {
+		enqueue(&queues[0][r.Source], packet{dest: r.Dest, weight: 1}, combining, &st)
+	}
+
+	for anyPending(queues) {
+		st.Cycles++
+		if st.Cycles > (b.k+2)*(len(reqs)+b.n+4) {
+			return st, fmt.Errorf("netsim: routing did not converge after %d cycles", st.Cycles)
+		}
+		// Memory modules serve one request each.
+		for r := 0; r < b.n; r++ {
+			if len(queues[b.k][r]) > 0 {
+				queues[b.k][r] = queues[b.k][r][1:]
+				st.Delivered++
+			}
+		}
+		// Switch levels forward one packet per output link per cycle,
+		// processed from the last level backwards so a packet advances at
+		// most one hop per cycle.
+		for l := b.k - 1; l >= 0; l-- {
+			bit := uint(b.k - 1 - l)
+			// Each switch has two output links (straight, cross). Per
+			// cycle it may send one packet on each; pick the first
+			// queued packet wanting each link.
+			for r := 0; r < b.n; r++ {
+				q := queues[l][r]
+				if len(q) == 0 {
+					continue
+				}
+				sentStraight, sentCross := false, false
+				kept := q[:0]
+				for _, pk := range q {
+					wantCross := (pk.dest>>bit)&1 != (r>>bit)&1
+					switch {
+					case wantCross && !sentCross:
+						target := r ^ (1 << bit)
+						enqueue(&queues[l+1][target], pk, combining, &st)
+						sentCross = true
+					case !wantCross && !sentStraight:
+						enqueue(&queues[l+1][r], pk, combining, &st)
+						sentStraight = true
+					default:
+						kept = append(kept, pk)
+					}
+				}
+				queues[l][r] = kept
+			}
+		}
+		// Track queue occupancy.
+		for l := range queues {
+			for r := range queues[l] {
+				if len(queues[l][r]) > st.MaxQueue {
+					st.MaxQueue = len(queues[l][r])
+				}
+			}
+		}
+	}
+	return st, nil
+}
+
+// enqueue appends a packet to a FIFO, merging with an equal-destination
+// packet when combining is on.
+func enqueue(q *[]packet, pk packet, combining bool, st *Stats) {
+	if combining {
+		for i := range *q {
+			if (*q)[i].dest == pk.dest {
+				(*q)[i].weight += pk.weight
+				st.Combined++
+				return
+			}
+		}
+	}
+	*q = append(*q, pk)
+}
+
+func anyPending(queues [][][]packet) bool {
+	for _, level := range queues {
+		for _, q := range level {
+			if len(q) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,193 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestButterflyIdentityPermutation(t *testing.T) {
+	b := NewButterfly(4) // 16 rows
+	reqs := make([]Request, 16)
+	for i := range reqs {
+		reqs[i] = Request{Source: i, Dest: i}
+	}
+	st, err := b.Route(reqs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered != 16 {
+		t.Fatalf("Delivered = %d, want 16", st.Delivered)
+	}
+	// Straight-through routing: k hops + 1 module cycle, conflict-free.
+	if st.Cycles > b.Levels()+2 {
+		t.Fatalf("identity permutation took %d cycles, want ≤ %d", st.Cycles, b.Levels()+2)
+	}
+	if st.Combined != 0 {
+		t.Fatalf("identity permutation combined %d packets", st.Combined)
+	}
+}
+
+func TestButterflyBitReversal(t *testing.T) {
+	// Bit reversal is a classic butterfly-hard permutation, but it still
+	// delivers; we only check completion and sane latency.
+	k := 4
+	b := NewButterfly(k)
+	n := b.Rows()
+	reqs := make([]Request, n)
+	for i := 0; i < n; i++ {
+		rev := 0
+		for bit := 0; bit < k; bit++ {
+			if i&(1<<bit) != 0 {
+				rev |= 1 << (k - 1 - bit)
+			}
+		}
+		reqs[i] = Request{Source: i, Dest: rev}
+	}
+	st, err := b.Route(reqs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered != n {
+		t.Fatalf("Delivered = %d, want %d", st.Delivered, n)
+	}
+	if st.Cycles < k {
+		t.Fatalf("bit reversal finished impossibly fast: %d cycles", st.Cycles)
+	}
+}
+
+func TestButterflyAllToOneCombining(t *testing.T) {
+	// The paper's concurrent-read scenario: every source reads the same
+	// memory cell. Without combining the module serialises all n
+	// requests; with combining the reads merge en route and the module
+	// sees a single request — the Ranade-style win.
+	k := 5
+	b := NewButterfly(k)
+	n := b.Rows()
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{Source: i, Dest: 3}
+	}
+	plain, err := b.Route(reqs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb, err := b.Route(reqs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cycles < n {
+		t.Fatalf("uncombined all-to-one took %d cycles, want ≥ %d (module serialisation)", plain.Cycles, n)
+	}
+	if comb.Cycles > 2*k+4 {
+		t.Fatalf("combined all-to-one took %d cycles, want O(k) ≈ %d", comb.Cycles, k)
+	}
+	if comb.Delivered != 1 {
+		t.Fatalf("combined all-to-one delivered %d module requests, want 1", comb.Delivered)
+	}
+	if comb.Combined != n-1 {
+		t.Fatalf("Combined = %d, want %d", comb.Combined, n-1)
+	}
+	if comb.Cycles >= plain.Cycles {
+		t.Fatalf("combining did not help: %d vs %d cycles", comb.Cycles, plain.Cycles)
+	}
+}
+
+func TestButterflyRandomBatchesComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	b := NewButterfly(4)
+	for trial := 0; trial < 30; trial++ {
+		nr := rng.Intn(64)
+		reqs := make([]Request, nr)
+		for i := range reqs {
+			reqs[i] = Request{Source: rng.Intn(16), Dest: rng.Intn(16)}
+		}
+		st, err := b.Route(reqs, trial%2 == 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Delivered > nr {
+			t.Fatalf("delivered %d of %d", st.Delivered, nr)
+		}
+		if nr > 0 && st.Delivered == 0 {
+			t.Fatal("nothing delivered")
+		}
+	}
+}
+
+func TestButterflyDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := NewButterfly(3)
+	reqs := make([]Request, 20)
+	for i := range reqs {
+		reqs[i] = Request{Source: rng.Intn(8), Dest: rng.Intn(8)}
+	}
+	a, err := b.Route(reqs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Route(reqs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != c {
+		t.Fatalf("nondeterministic routing: %+v vs %+v", a, c)
+	}
+}
+
+func TestButterflyValidation(t *testing.T) {
+	b := NewButterfly(2)
+	if _, err := b.Route([]Request{{Source: 4, Dest: 0}}, false); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	if _, err := b.Route([]Request{{Source: 0, Dest: -1}}, false); err == nil {
+		t.Fatal("out-of-range dest accepted")
+	}
+	st, err := b.Route(nil, false)
+	if err != nil || st.Cycles != 0 {
+		t.Fatalf("empty batch: %+v, %v", st, err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewButterfly(-1) did not panic")
+		}
+	}()
+	NewButterfly(-1)
+}
+
+func TestButterflyTrivial(t *testing.T) {
+	// k = 0: a single row, requests go straight to the module.
+	b := NewButterfly(0)
+	st, err := b.Route([]Request{{0, 0}, {0, 0}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered != 2 {
+		t.Fatalf("Delivered = %d, want 2", st.Delivered)
+	}
+}
+
+func TestGCAAccessPatternThroughButterfly(t *testing.T) {
+	// Route the GCA's generation-1 pattern (each of n columns reads one
+	// hot cell n+1 times) through a butterfly: with combining the batch
+	// completes in O(k + n/modules) cycles instead of Θ(n·(n+1)/modules).
+	k := 4 // 16 rows; use n = 16 sources reading 4 hot cells
+	b := NewButterfly(k)
+	var reqs []Request
+	for src := 0; src < 16; src++ {
+		reqs = append(reqs, Request{Source: src, Dest: src % 4})
+	}
+	plain, err := b.Route(reqs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb, err := b.Route(reqs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comb.Delivered != 4 {
+		t.Fatalf("combined hot-set delivered %d, want 4", comb.Delivered)
+	}
+	if comb.Cycles > plain.Cycles {
+		t.Fatalf("combining hurt: %d vs %d", comb.Cycles, plain.Cycles)
+	}
+}

@@ -1,0 +1,91 @@
+package netsim
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// UniversalHash is a member of the classic Carter–Wegman universal family
+// h(x) = ((a·x + b) mod p) mod m with prime p — the "hash function classes
+// that can be easily implemented" of the paper's Section 1 discussion. It
+// maps shared-memory addresses onto m memory modules.
+type UniversalHash struct {
+	a, b uint64
+	m    uint64
+}
+
+// hashPrime is the Mersenne prime 2^61 − 1, large enough for any address
+// space the simulators use and cheap to reduce by.
+const hashPrime = uint64(1)<<61 - 1
+
+// NewUniversalHash draws a random member of the family mapping onto m
+// modules. It panics for m < 1.
+func NewUniversalHash(m int, rng *rand.Rand) UniversalHash {
+	if m < 1 {
+		panic(fmt.Sprintf("netsim: invalid module count %d", m))
+	}
+	a := uint64(rng.Int63n(int64(hashPrime-1))) + 1 // 1 … p-1
+	b := uint64(rng.Int63n(int64(hashPrime)))       // 0 … p-1
+	return UniversalHash{a: a, b: b, m: uint64(m)}
+}
+
+// Modules returns m.
+func (h UniversalHash) Modules() int { return int(h.m) }
+
+// Map hashes address x onto a module number in 0…m-1.
+func (h UniversalHash) Map(x int) int {
+	// (a·x + b) mod p with p = 2^61−1: 128-bit product, then shift-based
+	// Mersenne reduction.
+	hi, lo := bits.Mul64(h.a, uint64(x))
+	v := mod61(hi, lo) + h.b
+	if v >= hashPrime {
+		v -= hashPrime
+	}
+	return int(v % h.m)
+}
+
+// mod61 reduces a 128-bit value modulo 2^61 − 1.
+func mod61(hi, lo uint64) uint64 {
+	// 2^64 ≡ 8 (mod 2^61-1), and split lo into low 61 bits + high 3 bits.
+	r := (lo & hashPrime) + (lo >> 61) + (hi<<3)&hashPrime + (hi >> 58)
+	for r >= hashPrime {
+		r -= hashPrime
+	}
+	return r
+}
+
+// ModuleLoads maps a batch of addresses through h and returns the number
+// of requests landing on each module.
+func ModuleLoads(addrs []int, h UniversalHash) []int {
+	loads := make([]int, h.Modules())
+	for _, a := range addrs {
+		loads[h.Map(a)]++
+	}
+	return loads
+}
+
+// MaxModuleLoad returns the hottest module's request count — the
+// congestion the hashed mapping achieves for the batch.
+func MaxModuleLoad(addrs []int, h UniversalHash) int {
+	max := 0
+	for _, l := range ModuleLoads(addrs, h) {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// AverageMaxLoad draws trials random hash functions and returns the mean
+// hottest-module load for the batch — the experimental counterpart of the
+// paper's "congestion can only get down to a value of O(log p)".
+func AverageMaxLoad(addrs []int, modules, trials int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	sum := 0
+	for t := 0; t < trials; t++ {
+		h := NewUniversalHash(modules, rng)
+		sum += MaxModuleLoad(addrs, h)
+	}
+	return float64(sum) / float64(trials)
+}

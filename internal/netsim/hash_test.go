@@ -1,0 +1,151 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashMapsIntoRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range []int{1, 2, 7, 64, 1000} {
+		h := NewUniversalHash(m, rng)
+		for x := 0; x < 500; x++ {
+			if v := h.Map(x); v < 0 || v >= m {
+				t.Fatalf("m=%d: Map(%d) = %d out of range", m, x, v)
+			}
+		}
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	h := NewUniversalHash(16, rand.New(rand.NewSource(2)))
+	for x := 0; x < 100; x++ {
+		if h.Map(x) != h.Map(x) {
+			t.Fatal("hash not deterministic")
+		}
+	}
+}
+
+func TestHashDistinctFunctions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := NewUniversalHash(64, rng)
+	b := NewUniversalHash(64, rng)
+	same := 0
+	for x := 0; x < 256; x++ {
+		if a.Map(x) == b.Map(x) {
+			same++
+		}
+	}
+	if same == 256 {
+		t.Fatal("two random family members are identical on 256 points")
+	}
+}
+
+func TestHashUniformity(t *testing.T) {
+	// m modules, 64·m addresses: every module load should be within a
+	// generous band around 64.
+	rng := rand.New(rand.NewSource(4))
+	m := 32
+	h := NewUniversalHash(m, rng)
+	addrs := make([]int, 64*m)
+	for i := range addrs {
+		addrs[i] = i
+	}
+	for mod, load := range ModuleLoads(addrs, h) {
+		if load < 16 || load > 160 {
+			t.Fatalf("module %d load %d far from expectation 64", mod, load)
+		}
+	}
+}
+
+func TestHashedCongestionLogarithmic(t *testing.T) {
+	// The paper: with easily implementable hash families the congestion
+	// "can only get down to a value of O(log p)". m distinct addresses
+	// onto m modules: the expected maximum load is Θ(log m / log log m);
+	// assert the empirical mean stays within [1, 3·log₂ m] and grows
+	// sublinearly.
+	for _, m := range []int{16, 64, 256} {
+		addrs := make([]int, m)
+		for i := range addrs {
+			addrs[i] = 7919 * i // distinct, non-contiguous
+		}
+		avg := AverageMaxLoad(addrs, m, 40, int64(m))
+		if avg < 1 {
+			t.Fatalf("m=%d: impossible average max load %f", m, avg)
+		}
+		bound := 3 * math.Log2(float64(m))
+		if avg > bound {
+			t.Fatalf("m=%d: average max load %.2f exceeds 3·log₂ m = %.2f", m, avg, bound)
+		}
+		if avg > float64(m)/4 {
+			t.Fatalf("m=%d: average max load %.2f is not sublinear", m, avg)
+		}
+	}
+}
+
+func TestHashCannotBreakSameAddressHotSpot(t *testing.T) {
+	// Hashing remaps addresses, but concurrent reads of the *same*
+	// address stay on one module — which is why combining (butterfly) or
+	// replication (Section 4) is needed on top of hashing.
+	rng := rand.New(rand.NewSource(6))
+	h := NewUniversalHash(64, rng)
+	addrs := make([]int, 100)
+	for i := range addrs {
+		addrs[i] = 42
+	}
+	if got := MaxModuleLoad(addrs, h); got != 100 {
+		t.Fatalf("hot address max load = %d, want 100", got)
+	}
+}
+
+func TestHashQuickRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	h := NewUniversalHash(97, rng)
+	f := func(x int) bool {
+		if x < 0 {
+			x = -x
+		}
+		v := h.Map(x)
+		return v >= 0 && v < 97
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewUniversalHashPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("m=0 did not panic")
+		}
+	}()
+	NewUniversalHash(0, rand.New(rand.NewSource(1)))
+}
+
+func TestMod61(t *testing.T) {
+	// Cross-check the Mersenne reduction against big-integer-free
+	// expectations on structured values.
+	cases := []struct {
+		hi, lo uint64
+		want   uint64
+	}{
+		{0, 0, 0},
+		{0, hashPrime, 0},
+		{0, hashPrime + 5, 5},
+		{0, 1<<61 - 2, 1<<61 - 2},
+		{1, 0, 8},                // 2^64 ≡ 8
+		{1, hashPrime - 3, 5},    // 8 - 3
+		{2, 7, 23},               // 2·8 + 7
+		{0, ^uint64(0), 7 + 2*4}, // 2^64-1 = 8·2^61 - 1 ≡ 8 - 1 + ... compute: (2^64-1) mod p
+	}
+	// Recompute the last case honestly: (2^64 − 1) mod (2^61 − 1):
+	// 2^64 − 1 = 8·(2^61 − 1) + 7 → 7.
+	cases[len(cases)-1].want = 7
+	for _, c := range cases {
+		if got := mod61(c.hi, c.lo); got != c.want {
+			t.Errorf("mod61(%d,%d) = %d, want %d", c.hi, c.lo, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package pram
+
+import (
+	"fmt"
+
+	"gcacc/internal/graph"
+)
+
+// Borůvka's minimum-spanning-forest algorithm on the CROW PRAM — a
+// further entry in the paper's "more elaborate PRAM algorithms" future
+// work, chosen because it reuses Hirschberg's machinery wholesale: per
+// round, every component finds its minimum *weight-encoded* outgoing edge
+// (the same two-phase min reduction as steps 2–3, with the min taken over
+// (w, i, j) tuples packed into one word), hooks along it, and resolves
+// the mutual-minimum 2-cycles by pointer jumping plus a final min —
+// literally steps 4–6 of the reference algorithm. Distinct weights make
+// the forest unique; equal weights are handled by the lexicographic
+// (w, i, j) tie-break.
+//
+// Memory layout for n vertices (2n² + 3n words):
+//
+//	W(i,j)  at i·n + j          read-only weights (0 = absent)
+//	C(i)    at n² + i           component labels
+//	T(i)    at n² + n + i       hook targets
+//	VB(i)   at n² + 2n + i      per-vertex best encoded edge
+//	TMP(i,j) at n² + 3n + i·n+j reduction temporaries
+type boruvkaLayout struct {
+	n                      int
+	c, t, vb, tmp, memSize int
+}
+
+func newBoruvkaLayout(n int) boruvkaLayout {
+	return boruvkaLayout{
+		n:       n,
+		c:       n * n,
+		t:       n*n + n,
+		vb:      n*n + 2*n,
+		tmp:     n*n + 3*n,
+		memSize: 2*n*n + 3*n,
+	}
+}
+
+// BoruvkaResult is the outcome of a parallel MSF run.
+type BoruvkaResult struct {
+	// MSF is the minimum spanning forest.
+	MSF *graph.MSF
+	// Labels is the final component labelling (super-node convention).
+	Labels []int
+	// Rounds is the number of Borůvka rounds executed.
+	Rounds int
+	// Costs is the machine accounting.
+	Costs Costs
+}
+
+// Boruvka computes the minimum spanning forest of a weighted graph on a
+// CROW PRAM with n² processors.
+func Boruvka(g *graph.Weighted, opt Options) (*BoruvkaResult, error) {
+	n := g.N()
+	if n == 0 {
+		return &BoruvkaResult{MSF: &graph.MSF{}, Labels: []int{}}, nil
+	}
+	lay := newBoruvkaLayout(n)
+	// enc perturbs the weight by the *undirected* edge identity — the
+	// tie-break must be globally consistent (a function of the edge, not
+	// of which side looks at it), or equal-weight ties could order
+	// differently from the two endpoints and the hook graph could grow
+	// cycles longer than 2.
+	enc := func(w int64, i, j int) Value {
+		if j < i {
+			i, j = j, i
+		}
+		return Value(w)*Value(n)*Value(n) + Value(i)*Value(n) + Value(j)
+	}
+	maxW := int64(0)
+	for _, e := range g.Edges() {
+		if e.W > maxW {
+			maxW = e.W
+		}
+	}
+	if maxW > (1<<62)/int64(n*n+1) {
+		return nil, fmt.Errorf("pram: weights up to %d overflow the (w,i,j) encoding for n=%d", maxW, n)
+	}
+
+	mode := CROW
+	if opt.UseMode {
+		mode = opt.Mode
+	}
+	m := New(mode, lay.memSize,
+		WithPhysicalProcessors(opt.PhysicalProcessors),
+		WithSimWorkers(opt.SimWorkers))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Store(i*n+j, Value(g.Weight(i, j)))
+			if mode == CROW {
+				m.SetOwner(lay.tmp+i*n+j, i*n+j)
+			}
+		}
+		if mode == CROW {
+			m.SetOwner(lay.c+i, i)
+			m.SetOwner(lay.t+i, i)
+			m.SetOwner(lay.vb+i, i)
+		}
+	}
+
+	logn := log2Ceil(n)
+
+	// minReduce folds TMP rows to their minima in TMP(i,0).
+	minReduce := func() error {
+		for s := 0; s < logn; s++ {
+			stride := 1 << uint(s)
+			if err := m.Step(n*n, func(p *Proc) {
+				i, j := p.ID/n, p.ID%n
+				if j%(2*stride) != 0 || j+stride >= n {
+					return
+				}
+				a := p.Read(lay.tmp + i*n + j)
+				b := p.Read(lay.tmp + i*n + j + stride)
+				if b < a {
+					p.Write(lay.tmp+i*n+j, b)
+				}
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// C(i) ← i.
+	if err := m.Step(n, func(p *Proc) {
+		p.Write(lay.c+p.ID, Value(p.ID))
+	}); err != nil {
+		return nil, fmt.Errorf("pram: boruvka init: %w", err)
+	}
+
+	res := &BoruvkaResult{MSF: &graph.MSF{}}
+	chosen := map[[2]int]bool{}
+	maxRounds := logn + 2
+	for round := 0; ; round++ {
+		if round > maxRounds {
+			return nil, fmt.Errorf("pram: boruvka did not converge within %d rounds", maxRounds)
+		}
+		// Phase 1: per-vertex best outgoing edge.
+		if err := m.Step(n*n, func(p *Proc) {
+			i, j := p.ID/n, p.ID%n
+			v := Inf
+			if w := p.Read(i*n + j); w > 0 {
+				if p.Read(lay.c+i) != p.Read(lay.c+j) {
+					v = enc(int64(w), i, j)
+				}
+			}
+			p.Write(lay.tmp+p.ID, v)
+		}); err != nil {
+			return nil, fmt.Errorf("pram: boruvka round %d fill: %w", round, err)
+		}
+		if err := minReduce(); err != nil {
+			return nil, fmt.Errorf("pram: boruvka round %d reduce: %w", round, err)
+		}
+		if err := m.Step(n, func(p *Proc) {
+			p.Write(lay.vb+p.ID, p.Read(lay.tmp+p.ID*n))
+		}); err != nil {
+			return nil, fmt.Errorf("pram: boruvka round %d vb: %w", round, err)
+		}
+		// Phase 2: per-component best over members.
+		if err := m.Step(n*n, func(p *Proc) {
+			i, j := p.ID/n, p.ID%n
+			v := Inf
+			if p.Read(lay.c+j) == Value(i) {
+				v = p.Read(lay.vb + j)
+			}
+			p.Write(lay.tmp+p.ID, v)
+		}); err != nil {
+			return nil, fmt.Errorf("pram: boruvka round %d gather: %w", round, err)
+		}
+		if err := minReduce(); err != nil {
+			return nil, fmt.Errorf("pram: boruvka round %d reduce2: %w", round, err)
+		}
+
+		// Host control FSM: collect the chosen edges (read-only) and
+		// detect termination.
+		picked := 0
+		for s := 0; s < n; s++ {
+			if int(m.Load(lay.c+s)) != s {
+				continue // not a component representative
+			}
+			best := m.Load(lay.tmp + s*n)
+			if best == Inf {
+				continue
+			}
+			// Decode: best = w·n² + i·n + j.
+			rest := int64(best) % int64(n*n)
+			ei, ej := int(rest/int64(n)), int(rest%int64(n))
+			key := [2]int{ei, ej}
+			if ej < ei {
+				key = [2]int{ej, ei}
+			}
+			if !chosen[key] {
+				chosen[key] = true
+				res.MSF.Edges = append(res.MSF.Edges, graph.WeightedEdge{U: key[0], V: key[1], W: g.Weight(ei, ej)})
+				res.MSF.Weight += g.Weight(ei, ej)
+			}
+			picked++
+		}
+		if picked == 0 {
+			res.Rounds = round
+			break
+		}
+
+		// Hook: T(s) ← the chosen edge's other-side component, or C(s).
+		if err := m.Step(n, func(p *Proc) {
+			best := p.Read(lay.tmp + p.ID*n)
+			if best == Inf {
+				p.Write(lay.t+p.ID, p.Read(lay.c+p.ID))
+				return
+			}
+			rest := int64(best) % int64(n*n)
+			u, v := int(rest/int64(n)), int(rest%int64(n))
+			cu := p.Read(lay.c + u)
+			if cu != Value(p.ID) {
+				p.Write(lay.t+p.ID, cu)
+			} else {
+				p.Write(lay.t+p.ID, p.Read(lay.c+v))
+			}
+		}); err != nil {
+			return nil, fmt.Errorf("pram: boruvka round %d hook: %w", round, err)
+		}
+		// Step 4: C ← T.
+		if err := m.Step(n, func(p *Proc) {
+			p.Write(lay.c+p.ID, p.Read(lay.t+p.ID))
+		}); err != nil {
+			return nil, fmt.Errorf("pram: boruvka round %d commit: %w", round, err)
+		}
+		// Step 5: shortcut T.
+		for s := 0; s < logn; s++ {
+			if err := m.Step(n, func(p *Proc) {
+				t := p.Read(lay.t + p.ID)
+				p.Write(lay.t+p.ID, p.Read(lay.t+int(t)))
+			}); err != nil {
+				return nil, fmt.Errorf("pram: boruvka round %d shortcut: %w", round, err)
+			}
+		}
+		// Step 6: C(i) ← min(C(T(i)), T(i)).
+		if err := m.Step(n, func(p *Proc) {
+			t := p.Read(lay.t + p.ID)
+			c := p.Read(lay.c + int(t))
+			if t < c {
+				c = t
+			}
+			p.Write(lay.c+p.ID, c)
+		}); err != nil {
+			return nil, fmt.Errorf("pram: boruvka round %d resolve: %w", round, err)
+		}
+	}
+
+	// The machine's labels identify components by whichever representative
+	// survived the weight-driven hooking; canonicalise to the super-node
+	// convention.
+	raw := make([]int, n)
+	for i := 0; i < n; i++ {
+		raw[i] = int(m.Load(lay.c + i))
+	}
+	res.Labels = graph.CanonicalLabels(raw)
+	res.Costs = m.Costs()
+	return res, nil
+}

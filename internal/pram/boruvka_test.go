@@ -1,0 +1,187 @@
+package pram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gcacc/internal/graph"
+)
+
+func TestBoruvkaKnownGraph(t *testing.T) {
+	// A classic textbook instance.
+	g := graph.NewWeighted(5)
+	g.AddEdge(0, 1, 4)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(1, 3, 2)
+	g.AddEdge(2, 3, 5)
+	g.AddEdge(3, 4, 7)
+	res, err := Boruvka(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.KruskalMSF(g)
+	if !res.MSF.Equal(want) {
+		t.Fatalf("MSF = %+v, want %+v", res.MSF, want)
+	}
+	// Total weight: 1 + 3 + 2 + 7 = 13.
+	if res.MSF.Weight != 13 {
+		t.Fatalf("weight = %d, want 13", res.MSF.Weight)
+	}
+}
+
+func TestBoruvkaMatchesKruskalDistinctWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(901))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(28)
+		g := graph.RandomWeighted(n, rng.Float64(), rng)
+		res, err := Boruvka(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := graph.KruskalMSF(g)
+		if !res.MSF.Equal(want) {
+			t.Fatalf("trial %d (n=%d): MSF differs:\n got %+v\nwant %+v", trial, n, res.MSF, want)
+		}
+		// The final labelling must be the connectivity of the topology.
+		if !graph.IsValidComponentLabelling(g.Unweighted(), res.Labels) {
+			t.Fatalf("trial %d: labels invalid", trial)
+		}
+	}
+}
+
+func TestBoruvkaDuplicateWeights(t *testing.T) {
+	// With ties the forest need not be unique, but the total weight is.
+	rng := rand.New(rand.NewSource(903))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(20)
+		g := graph.NewWeighted(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.4 {
+					g.AddEdge(u, v, int64(1+rng.Intn(4))) // heavy ties
+				}
+			}
+		}
+		res, err := Boruvka(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := graph.KruskalMSF(g)
+		if res.MSF.Weight != want.Weight {
+			t.Fatalf("trial %d: weight %d, want %d", trial, res.MSF.Weight, want.Weight)
+		}
+		if len(res.MSF.Edges) != len(want.Edges) {
+			t.Fatalf("trial %d: %d edges, want %d", trial, len(res.MSF.Edges), len(want.Edges))
+		}
+	}
+}
+
+func TestBoruvkaQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		g := graph.RandomWeighted(n, rng.Float64()/2, rng)
+		res, err := Boruvka(g, Options{})
+		if err != nil {
+			return false
+		}
+		return res.MSF.Equal(graph.KruskalMSF(g))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoruvkaCROWDiscipline(t *testing.T) {
+	// Like Hirschberg, Borůvka's gather/hook structure is owner-write; a
+	// clean run on the CROW checker proves it.
+	rng := rand.New(rand.NewSource(905))
+	g := graph.RandomWeighted(16, 0.4, rng)
+	if _, err := Boruvka(g, Options{}); err != nil {
+		t.Fatalf("CROW checker fired: %v", err)
+	}
+}
+
+func TestBoruvkaRoundsLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewSource(907))
+	for _, n := range []int{8, 32, 64} {
+		g := graph.RandomWeighted(n, 0.5, rng)
+		res, err := Boruvka(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rounds > log2Ceil(n)+1 {
+			t.Errorf("n=%d: %d rounds, want ≤ %d", n, res.Rounds, log2Ceil(n)+1)
+		}
+	}
+}
+
+func TestBoruvkaEmptyAndEdgeless(t *testing.T) {
+	res, err := Boruvka(graph.NewWeighted(0), Options{})
+	if err != nil || len(res.MSF.Edges) != 0 {
+		t.Fatalf("empty: %+v, %v", res, err)
+	}
+	res, err = Boruvka(graph.NewWeighted(5), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MSF.Edges) != 0 || res.MSF.Weight != 0 {
+		t.Fatalf("edgeless graph grew a forest: %+v", res.MSF)
+	}
+	for i, l := range res.Labels {
+		if l != i {
+			t.Fatal("edgeless labels wrong")
+		}
+	}
+}
+
+func TestWeightedGraphBasics(t *testing.T) {
+	g := graph.NewWeighted(3)
+	g.AddEdge(0, 2, 5)
+	if g.Weight(0, 2) != 5 || g.Weight(2, 0) != 5 {
+		t.Fatal("weight not symmetric")
+	}
+	if g.Weight(0, 1) != 0 {
+		t.Fatal("absent edge has weight")
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+	edges := g.Edges()
+	if len(edges) != 1 || edges[0] != (graph.WeightedEdge{U: 0, V: 2, W: 5}) {
+		t.Fatalf("edges = %v", edges)
+	}
+	u := g.Unweighted()
+	if !u.HasEdge(0, 2) || u.M() != 1 {
+		t.Fatal("unweighted view wrong")
+	}
+	for _, bad := range []func(){
+		func() { g.AddEdge(0, 0, 1) },
+		func() { g.AddEdge(0, 1, 0) },
+		func() { g.AddEdge(0, 3, 1) },
+		func() { graph.NewWeighted(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestRandomWeightedDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	g := graph.RandomWeighted(20, 0.5, rng)
+	seen := map[int64]bool{}
+	for _, e := range g.Edges() {
+		if seen[e.W] {
+			t.Fatalf("duplicate weight %d", e.W)
+		}
+		seen[e.W] = true
+	}
+}

@@ -1,0 +1,293 @@
+package pram
+
+import (
+	"fmt"
+
+	"gcacc/internal/graph"
+)
+
+// This file implements the reference algorithm of the paper's Listing 1 —
+// Hirschberg's connected-components algorithm for a CREW (actually CROW)
+// PRAM — directly on the simulator, with the paper's memory layout: the
+// adjacency matrix A, the vectors C and T, and the n² temporary cells the
+// min computations of steps 2 and 3 require.
+//
+// Shared-memory map for n nodes:
+//
+//	A(i,j)   at aBase + i·n + j        (read-only: owner Unowned)
+//	C(i)     at cBase + i              (owner: processor i)
+//	T(i)     at tBase + i              (owner: processor i)
+//	TMP(i,j) at tmpBase + i·n + j      (owner: processor i·n + j)
+//
+// The algorithm uses n² processors; processor p covers TMP cell p and,
+// when p < n, the vectors' entry p.
+//
+// Steps 5 and 6 follow the formulation consistent with the paper's GCA
+// generations 10–11 (the printed listing is typographically damaged in our
+// source): step 5 short-cuts T by pointer jumping (T(i) ← T(T(i)), log n
+// times) and step 6 sets C(i) ← min(C(T(i)), T(i)). See DESIGN.md.
+
+// Layout describes where the reference implementation places the
+// algorithm's arrays in shared memory.
+type Layout struct {
+	N       int
+	ABase   int
+	CBase   int
+	TBase   int
+	TmpBase int
+	MemSize int
+}
+
+// NewLayout returns the canonical layout for n nodes.
+func NewLayout(n int) Layout {
+	return Layout{
+		N:       n,
+		ABase:   0,
+		CBase:   n * n,
+		TBase:   n*n + n,
+		TmpBase: n*n + 2*n,
+		MemSize: 2*n*n + 2*n,
+	}
+}
+
+// A returns the address of A(i,j).
+func (l Layout) A(i, j int) int { return l.ABase + i*l.N + j }
+
+// C returns the address of C(i).
+func (l Layout) C(i int) int { return l.CBase + i }
+
+// T returns the address of T(i).
+func (l Layout) T(i int) int { return l.TBase + i }
+
+// Tmp returns the address of TMP(i,j).
+func (l Layout) Tmp(i, j int) int { return l.TmpBase + i*l.N + j }
+
+// Options configures a reference run.
+type Options struct {
+	// Mode is the access discipline to enforce; the algorithm is legal
+	// under CREW and CROW (the default). EREW fails by design: steps 2
+	// and 3 concurrently read C and T entries.
+	Mode Mode
+	// UseMode indicates Mode is meaningful (distinguishes the zero value
+	// CREW from "default CROW").
+	UseMode bool
+	// PhysicalProcessors, if positive, computes Brent-adjusted time for a
+	// machine with that many processors.
+	PhysicalProcessors int
+	// Iterations overrides the outer iteration count (0 = ⌈log₂ n⌉).
+	Iterations int
+	// SimWorkers sets simulator goroutines (0 = GOMAXPROCS).
+	SimWorkers int
+	// Trace, if non-nil, captures the algorithm's vectors at the
+	// iteration boundaries the paper maps onto the GCA: T after step 3
+	// and C after step 6 of every iteration. Used by the cross-model
+	// lockstep tests.
+	Trace *VectorTrace
+}
+
+// VectorTrace holds per-iteration snapshots of the reference algorithm's
+// vectors.
+type VectorTrace struct {
+	// TAfterStep3[it] is T after step 3 of iteration it.
+	TAfterStep3 [][]Value
+	// CAfterStep6[it] is C after step 6 of iteration it.
+	CAfterStep6 [][]Value
+}
+
+// Result of a reference run.
+type Result struct {
+	// Labels is the super-node labelling of the input graph.
+	Labels []int
+	// Costs is the PRAM accounting (steps, Brent time, work, accesses).
+	Costs Costs
+	// Iterations is the number of outer iterations executed.
+	Iterations int
+}
+
+// log2Ceil mirrors core.Log2Ceil; duplicated to keep the package
+// dependency graph flat (both mirror the paper's "log n").
+func log2Ceil(n int) int {
+	k, p := 0, 1
+	for p < n {
+		p <<= 1
+		k++
+	}
+	return k
+}
+
+// Hirschberg runs Listing 1 on a fresh simulator and returns the
+// super-node labelling together with the machine's cost accounting.
+func Hirschberg(g *graph.Graph, opt Options) (*Result, error) {
+	n := g.N()
+	if n == 0 {
+		return &Result{Labels: []int{}}, nil
+	}
+	lay := NewLayout(n)
+	mode := CROW
+	if opt.UseMode {
+		mode = opt.Mode
+	}
+	m := New(mode, lay.MemSize,
+		WithPhysicalProcessors(opt.PhysicalProcessors),
+		WithSimWorkers(opt.SimWorkers))
+
+	// Load A (read-only) and assign owners.
+	adj := g.Adjacency()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if adj.Get(i, j) {
+				m.Store(lay.A(i, j), 1)
+			}
+		}
+	}
+	if mode == CROW {
+		for i := 0; i < n; i++ {
+			m.SetOwner(lay.C(i), i)
+			m.SetOwner(lay.T(i), i)
+			for j := 0; j < n; j++ {
+				m.SetOwner(lay.Tmp(i, j), i*n+j)
+			}
+		}
+	}
+
+	iters := opt.Iterations
+	if iters <= 0 {
+		iters = log2Ceil(n)
+	}
+	logn := log2Ceil(n)
+
+	// Step 1: C(i) ← i.
+	err := m.Step(n, func(p *Proc) {
+		p.Write(lay.C(p.ID), Value(p.ID))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pram: step 1: %w", err)
+	}
+
+	// minReduce computes, for every row i, the minimum of TMP(i,·) into
+	// TMP(i,0) by pairwise tree reduction in log n steps.
+	minReduce := func() error {
+		for s := 0; s < logn; s++ {
+			stride := 1 << uint(s)
+			if err := m.Step(n*n, func(p *Proc) {
+				i, j := p.ID/n, p.ID%n
+				if j%(2*stride) != 0 || j+stride >= n {
+					return
+				}
+				a := p.Read(lay.Tmp(i, j))
+				b := p.Read(lay.Tmp(i, j+stride))
+				if b < a {
+					p.Write(lay.Tmp(i, j), b)
+				}
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for it := 0; it < iters; it++ {
+		// Step 2: T(i) ← min_j { C(j) | A(i,j)=1 ∧ C(j) ≠ C(i) },
+		// C(i) if none.
+		if err := m.Step(n*n, func(p *Proc) {
+			i, j := p.ID/n, p.ID%n
+			v := Inf
+			if p.Read(lay.A(i, j)) == 1 {
+				cj := p.Read(lay.C(j))
+				if ci := p.Read(lay.C(i)); cj != ci {
+					v = cj
+				}
+			}
+			p.Write(lay.Tmp(i, j), v)
+		}); err != nil {
+			return nil, fmt.Errorf("pram: iteration %d step 2 fill: %w", it, err)
+		}
+		if err := minReduce(); err != nil {
+			return nil, fmt.Errorf("pram: iteration %d step 2 reduce: %w", it, err)
+		}
+		if err := m.Step(n, func(p *Proc) {
+			v := p.Read(lay.Tmp(p.ID, 0))
+			if v == Inf {
+				v = p.Read(lay.C(p.ID))
+			}
+			p.Write(lay.T(p.ID), v)
+		}); err != nil {
+			return nil, fmt.Errorf("pram: iteration %d step 2 select: %w", it, err)
+		}
+
+		// Step 3: T(i) ← min_j { T(j) | C(j)=i ∧ T(j) ≠ i }, C(i) if none.
+		if err := m.Step(n*n, func(p *Proc) {
+			i, j := p.ID/n, p.ID%n
+			v := Inf
+			if p.Read(lay.C(j)) == Value(i) {
+				if tj := p.Read(lay.T(j)); tj != Value(i) {
+					v = tj
+				}
+			}
+			p.Write(lay.Tmp(i, j), v)
+		}); err != nil {
+			return nil, fmt.Errorf("pram: iteration %d step 3 fill: %w", it, err)
+		}
+		if err := minReduce(); err != nil {
+			return nil, fmt.Errorf("pram: iteration %d step 3 reduce: %w", it, err)
+		}
+		if err := m.Step(n, func(p *Proc) {
+			v := p.Read(lay.Tmp(p.ID, 0))
+			if v == Inf {
+				v = p.Read(lay.C(p.ID))
+			}
+			p.Write(lay.T(p.ID), v)
+		}); err != nil {
+			return nil, fmt.Errorf("pram: iteration %d step 3 select: %w", it, err)
+		}
+		if opt.Trace != nil {
+			snap := make([]Value, n)
+			for i := 0; i < n; i++ {
+				snap[i] = m.Load(lay.T(i))
+			}
+			opt.Trace.TAfterStep3 = append(opt.Trace.TAfterStep3, snap)
+		}
+
+		// Step 4: C(i) ← T(i).
+		if err := m.Step(n, func(p *Proc) {
+			p.Write(lay.C(p.ID), p.Read(lay.T(p.ID)))
+		}); err != nil {
+			return nil, fmt.Errorf("pram: iteration %d step 4: %w", it, err)
+		}
+
+		// Step 5: repeat log n times: T(i) ← T(T(i)).
+		for s := 0; s < logn; s++ {
+			if err := m.Step(n, func(p *Proc) {
+				t := p.Read(lay.T(p.ID))
+				p.Write(lay.T(p.ID), p.Read(lay.T(int(t))))
+			}); err != nil {
+				return nil, fmt.Errorf("pram: iteration %d step 5: %w", it, err)
+			}
+		}
+
+		// Step 6: C(i) ← min(C(T(i)), T(i)).
+		if err := m.Step(n, func(p *Proc) {
+			t := p.Read(lay.T(p.ID))
+			c := p.Read(lay.C(int(t)))
+			if t < c {
+				c = t
+			}
+			p.Write(lay.C(p.ID), c)
+		}); err != nil {
+			return nil, fmt.Errorf("pram: iteration %d step 6: %w", it, err)
+		}
+		if opt.Trace != nil {
+			snap := make([]Value, n)
+			for i := 0; i < n; i++ {
+				snap[i] = m.Load(lay.C(i))
+			}
+			opt.Trace.CAfterStep6 = append(opt.Trace.CAfterStep6, snap)
+		}
+	}
+
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		labels[i] = int(m.Load(lay.C(i)))
+	}
+	return &Result{Labels: labels, Costs: m.Costs(), Iterations: iters}, nil
+}

@@ -1,0 +1,192 @@
+package pram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gcacc/internal/graph"
+)
+
+func refLabels(t *testing.T, g *graph.Graph, opt Options) []int {
+	t.Helper()
+	res, err := Hirschberg(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Labels
+}
+
+func TestHirschbergEmpty(t *testing.T) {
+	res, err := Hirschberg(graph.New(0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != 0 {
+		t.Fatal("non-empty labels for empty graph")
+	}
+}
+
+func TestHirschbergKnownGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	cases := map[string]*graph.Graph{
+		"single":    graph.New(1),
+		"edge":      graph.MatchingChain(2),
+		"path16":    graph.Path(16),
+		"path11":    graph.Path(11),
+		"cycle12":   graph.Cycle(12),
+		"star8":     graph.Star(8),
+		"complete9": graph.Complete(9),
+		"cliques":   graph.DisjointCliques(3, 5),
+		"grid":      graph.Grid(4, 5),
+		"empty7":    graph.Empty(7),
+		"gnp":       graph.Gnp(20, 0.2, rng),
+	}
+	for name, g := range cases {
+		t.Run(name, func(t *testing.T) {
+			labels := refLabels(t, g, Options{})
+			if !graph.IsValidComponentLabelling(g, labels) {
+				t.Fatalf("invalid labelling %v", labels)
+			}
+		})
+	}
+}
+
+func TestHirschbergMatchesUnionFindRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(28)
+		g := graph.Gnp(n, rng.Float64()*rng.Float64(), rng)
+		got := refLabels(t, g, Options{})
+		want := graph.ConnectedComponentsUnionFind(g)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d): labels differ at %d: %d vs %d\n%s",
+					trial, n, i, got[i], want[i], g)
+			}
+		}
+	}
+}
+
+func TestHirschbergQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(24)
+		g := graph.Gnp(n, rng.Float64()/2, rng)
+		res, err := Hirschberg(g, Options{})
+		if err != nil {
+			return false
+		}
+		return graph.IsValidComponentLabelling(g, res.Labels)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHirschbergCROWDiscipline(t *testing.T) {
+	// The paper's claim: only a CROW PRAM is really needed. The CROW
+	// checker is active by default, so a clean run is the proof; this
+	// test just makes the claim explicit for both modes.
+	g := graph.Gnp(16, 0.3, rand.New(rand.NewSource(47)))
+	for _, mode := range []Mode{CROW, CREW} {
+		res, err := Hirschberg(g, Options{Mode: mode, UseMode: true})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if !graph.IsValidComponentLabelling(g, res.Labels) {
+			t.Fatalf("%s: invalid labelling", mode)
+		}
+	}
+}
+
+func TestHirschbergEREWFails(t *testing.T) {
+	// Steps 2/3 concurrently read C entries, so EREW must reject the
+	// algorithm — the reason the paper needs concurrent reads at all.
+	g := graph.Complete(4)
+	if _, err := Hirschberg(g, Options{Mode: EREW, UseMode: true}); err == nil {
+		t.Fatal("EREW machine accepted an algorithm with concurrent reads")
+	}
+}
+
+func TestHirschbergCosts(t *testing.T) {
+	n := 16
+	g := graph.Path(n)
+	res, err := Hirschberg(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Costs
+	// Steps per iteration: step2 = 1 + log n + 1, step3 = 1 + log n + 1,
+	// step4 = 1, step5 = log n, step6 = 1 → 3 log n + 6, plus step 1 once.
+	logn := log2Ceil(n)
+	wantSteps := 1 + logn*(3*logn+6)
+	if c.Steps != wantSteps {
+		t.Errorf("Steps = %d, want %d", c.Steps, wantSteps)
+	}
+	if res.Iterations != logn {
+		t.Errorf("Iterations = %d, want %d", res.Iterations, logn)
+	}
+	if c.Work <= 0 || c.Reads <= 0 || c.Writes <= 0 {
+		t.Errorf("degenerate costs: %+v", c)
+	}
+	// With unlimited processors Time equals Steps.
+	if c.Time != c.Steps {
+		t.Errorf("Time = %d, want %d", c.Time, c.Steps)
+	}
+}
+
+func TestHirschbergBrentSlowdown(t *testing.T) {
+	// Brent's theorem: with p physical processors, time grows by at most
+	// a factor ⌈P/p⌉ where P = n² is the algorithm's processor demand.
+	g := graph.Gnp(16, 0.3, rand.New(rand.NewSource(53)))
+	full, err := Hirschberg(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	limited, err := Hirschberg(g, Options{PhysicalProcessors: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limited.Costs.Time <= full.Costs.Time {
+		t.Fatalf("limited machine not slower: %d vs %d", limited.Costs.Time, full.Costs.Time)
+	}
+	// Same answer regardless of processor budget.
+	for i := range full.Labels {
+		if full.Labels[i] != limited.Labels[i] {
+			t.Fatal("Brent-limited run changed the answer")
+		}
+	}
+	// Upper bound: Time ≤ Steps · ⌈n²/p⌉.
+	bound := full.Costs.Steps * ((16*16 + 7) / 8)
+	if limited.Costs.Time > bound {
+		t.Fatalf("Time = %d exceeds Brent bound %d", limited.Costs.Time, bound)
+	}
+}
+
+func TestHirschbergIterationOverride(t *testing.T) {
+	g := graph.DisjointCliques(4, 4)
+	res, err := Hirschberg(g, Options{Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 1 {
+		t.Fatalf("Iterations = %d, want 1", res.Iterations)
+	}
+	if !graph.IsValidComponentLabelling(g, res.Labels) {
+		t.Fatal("one iteration should resolve disjoint cliques")
+	}
+}
+
+func TestLayoutAddresses(t *testing.T) {
+	l := NewLayout(4)
+	if l.A(0, 0) != 0 || l.A(3, 3) != 15 {
+		t.Fatal("A addresses wrong")
+	}
+	if l.C(0) != 16 || l.T(0) != 20 || l.Tmp(0, 0) != 24 {
+		t.Fatal("vector bases wrong")
+	}
+	if l.Tmp(3, 3) != l.MemSize-1 {
+		t.Fatal("memory size wrong")
+	}
+}

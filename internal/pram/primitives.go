@@ -1,0 +1,89 @@
+package pram
+
+import "fmt"
+
+// Reusable parallel primitives on the PRAM simulator — the building
+// blocks of "more elaborate PRAM algorithms" (the paper's stated future
+// work). All primitives run in O(log n) synchronous steps and are legal
+// on a CREW machine; they operate in place on a contiguous memory region.
+
+// ReduceMin folds region [base, base+n) to its minimum, leaving the
+// result at base. It destroys the rest of the region (partial minima).
+func ReduceMin(m *Machine, base, n int) error {
+	return reduce(m, base, n, "min", func(a, b Value) Value {
+		if b < a {
+			return b
+		}
+		return a
+	})
+}
+
+// ReduceSum folds region [base, base+n) to its sum, leaving the result at
+// base.
+func ReduceSum(m *Machine, base, n int) error {
+	return reduce(m, base, n, "sum", func(a, b Value) Value { return a + b })
+}
+
+func reduce(m *Machine, base, n int, opName string, op func(a, b Value) Value) error {
+	if n < 0 || base < 0 || base+n > m.MemSize() {
+		return fmt.Errorf("pram: reduce-%s region [%d,%d) out of memory", opName, base, base+n)
+	}
+	for stride := 1; stride < n; stride *= 2 {
+		s := stride
+		if err := m.Step(n, func(p *Proc) {
+			i := p.ID
+			if i%(2*s) != 0 || i+s >= n {
+				return
+			}
+			a := p.Read(base + i)
+			b := p.Read(base + i + s)
+			p.Write(base+i, op(a, b))
+		}); err != nil {
+			return fmt.Errorf("pram: reduce-%s stride %d: %w", opName, s, err)
+		}
+	}
+	return nil
+}
+
+// PrefixSum replaces region [base, base+n) with its inclusive prefix sums
+// using the Hillis–Steele doubling scan: O(log n) steps, n processors.
+func PrefixSum(m *Machine, base, n int) error {
+	if n < 0 || base < 0 || base+n > m.MemSize() {
+		return fmt.Errorf("pram: prefix-sum region [%d,%d) out of memory", base, base+n)
+	}
+	for stride := 1; stride < n; stride *= 2 {
+		s := stride
+		if err := m.Step(n, func(p *Proc) {
+			i := p.ID
+			v := p.Read(base + i)
+			if i >= s {
+				v += p.Read(base + i - s)
+			}
+			p.Write(base+i, v)
+		}); err != nil {
+			return fmt.Errorf("pram: prefix-sum stride %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// Broadcast copies the value at src into every cell of [base, base+n) in
+// one concurrent-read step.
+func Broadcast(m *Machine, src, base, n int) error {
+	if n < 0 || base < 0 || base+n > m.MemSize() || src < 0 || src >= m.MemSize() {
+		return fmt.Errorf("pram: broadcast [%d,%d) ← %d out of memory", base, base+n, src)
+	}
+	return m.Step(n, func(p *Proc) {
+		p.Write(base+p.ID, p.Read(src))
+	})
+}
+
+// Fill stores v into every cell of [base, base+n) in one step.
+func Fill(m *Machine, base, n int, v Value) error {
+	if n < 0 || base < 0 || base+n > m.MemSize() {
+		return fmt.Errorf("pram: fill [%d,%d) out of memory", base, base+n)
+	}
+	return m.Step(n, func(p *Proc) {
+		p.Write(base+p.ID, v)
+	})
+}

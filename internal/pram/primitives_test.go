@@ -1,0 +1,161 @@
+package pram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newFilled(t *testing.T, mode Mode, vals []Value) *Machine {
+	t.Helper()
+	m := New(mode, len(vals))
+	for i, v := range vals {
+		m.Store(i, v)
+	}
+	return m
+}
+
+func TestReduceMin(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 16, 33} {
+		vals := make([]Value, n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		want := Value(1 << 30)
+		for i := range vals {
+			vals[i] = Value(rng.Intn(1000))
+			if vals[i] < want {
+				want = vals[i]
+			}
+		}
+		m := newFilled(t, CREW, vals)
+		if err := ReduceMin(m, 0, n); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Load(0); got != want {
+			t.Fatalf("n=%d: min = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	n := 20
+	vals := make([]Value, n)
+	var want Value
+	for i := range vals {
+		vals[i] = Value(i * i)
+		want += vals[i]
+	}
+	m := newFilled(t, CREW, vals)
+	if err := ReduceSum(m, 0, n); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Load(0); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestReduceLogSteps(t *testing.T) {
+	n := 64
+	m := New(CREW, n)
+	if err := ReduceMin(m, 0, n); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Costs().Steps; got != 6 {
+		t.Fatalf("reduce of 64 took %d steps, want 6", got)
+	}
+}
+
+func TestPrefixSum(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16, 31} {
+		vals := make([]Value, n)
+		for i := range vals {
+			vals[i] = Value(i + 1)
+		}
+		m := newFilled(t, CREW, vals)
+		if err := PrefixSum(m, 0, n); err != nil {
+			t.Fatal(err)
+		}
+		var run Value
+		for i := 0; i < n; i++ {
+			run += Value(i + 1)
+			if got := m.Load(i); got != run {
+				t.Fatalf("n=%d: prefix[%d] = %d, want %d", n, i, got, run)
+			}
+		}
+	}
+}
+
+func TestPrefixSumQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		vals := make([]Value, n)
+		for i := range vals {
+			vals[i] = Value(rng.Intn(100) - 50)
+		}
+		m := New(CREW, n)
+		for i, v := range vals {
+			m.Store(i, v)
+		}
+		if err := PrefixSum(m, 0, n); err != nil {
+			return false
+		}
+		var run Value
+		for i := 0; i < n; i++ {
+			run += vals[i]
+			if m.Load(i) != run {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastAndFill(t *testing.T) {
+	m := New(CREW, 10)
+	m.Store(9, 42)
+	if err := Broadcast(m, 9, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if m.Load(i) != 42 {
+			t.Fatalf("broadcast missed cell %d", i)
+		}
+	}
+	if err := Fill(m, 0, 10, -1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if m.Load(i) != -1 {
+			t.Fatalf("fill missed cell %d", i)
+		}
+	}
+}
+
+func TestPrimitivesRangeErrors(t *testing.T) {
+	m := New(CREW, 4)
+	if err := ReduceMin(m, 2, 3); err == nil {
+		t.Error("reduce out of range accepted")
+	}
+	if err := PrefixSum(m, -1, 2); err == nil {
+		t.Error("prefix out of range accepted")
+	}
+	if err := Broadcast(m, 5, 0, 2); err == nil {
+		t.Error("broadcast bad src accepted")
+	}
+	if err := Fill(m, 0, 9, 0); err == nil {
+		t.Error("fill out of range accepted")
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	m := New(CREW, 4)
+	if err := ReduceMin(m, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Costs().Steps != 0 {
+		t.Fatal("empty reduce took steps")
+	}
+}

@@ -1,0 +1,197 @@
+package pram
+
+import (
+	"fmt"
+
+	"gcacc/internal/graph"
+)
+
+// This file implements the Awerbuch–Shiloach connected-components
+// algorithm (the robust formulation of Shiloach–Vishkin's classic) on the
+// simulator — the paper's announced future work ("the implementation of
+// more elaborate PRAM algorithms"), and a sharp contrast to Hirschberg's:
+// where Hirschberg runs on a CROW PRAM (and therefore maps directly onto
+// the owner-write GCA), Shiloach–Vishkin-style hooking fundamentally
+// requires concurrent writes — many edges race to hook the same tree
+// root — so it needs a CRCW machine and does not enjoy the same direct
+// GCA embedding. The implementation uses the deterministic
+// Priority-CRCW refinement.
+//
+// Memory layout: D (parent/label) at [0, n), ST (star flags) at [n, 2n).
+// The edge list is compiled into the program (one processor per directed
+// edge), like the adjacency matrix baked into the GCA cells.
+//
+// Per iteration:
+//
+//	1. conditional star hooking:   star(u) ∧ D(v) < D(u) ⇒ D(D(u)) ← D(v)
+//	2. unconditional star hooking: star(u) ∧ D(v) ≠ D(u) ⇒ D(D(u)) ← D(v)
+//	   (only stars that step 1 left untouched can fire; cycles are
+//	   impossible because any adjacent pair of stars is resolved by the
+//	   strict < of step 1)
+//	3. pointer jumping:            D(v) ← D(D(v))
+//
+// until D reaches a fixed point, which Awerbuch–Shiloach prove takes
+// O(log n) iterations.
+
+// ShiloachVishkinResult is the outcome of a run.
+type ShiloachVishkinResult struct {
+	// Labels maps every vertex to the smallest vertex index of its
+	// component (canonicalised from the algorithm's root labels).
+	Labels []int
+	// RootLabels are the raw D values at termination (component roots,
+	// not necessarily minimal indices).
+	RootLabels []int
+	// Iterations is the number of hook/shortcut iterations executed.
+	Iterations int
+	// Costs is the machine accounting.
+	Costs Costs
+}
+
+// ShiloachVishkinOptions configures a run.
+type ShiloachVishkinOptions struct {
+	// PhysicalProcessors enables Brent time accounting.
+	PhysicalProcessors int
+	// SimWorkers sets simulator goroutines.
+	SimWorkers int
+}
+
+// ShiloachVishkin computes connected components with the Awerbuch–
+// Shiloach algorithm on a Priority-CRCW machine.
+func ShiloachVishkin(g *graph.Graph, opt ShiloachVishkinOptions) (*ShiloachVishkinResult, error) {
+	n := g.N()
+	if n == 0 {
+		return &ShiloachVishkinResult{Labels: []int{}, RootLabels: []int{}}, nil
+	}
+	edges := g.Edges()
+	// Directed orientations: processor e < len(dir) handles dir[e].
+	type dedge struct{ u, v int }
+	dir := make([]dedge, 0, 2*len(edges))
+	for _, e := range edges {
+		dir = append(dir, dedge{e.U, e.V}, dedge{e.V, e.U})
+	}
+
+	dBase, stBase := 0, n
+	m := New(CRCWPriority, 2*n,
+		WithPhysicalProcessors(opt.PhysicalProcessors),
+		WithSimWorkers(opt.SimWorkers))
+
+	// D(v) ← v.
+	if err := m.Step(n, func(p *Proc) {
+		p.Write(dBase+p.ID, Value(p.ID))
+	}); err != nil {
+		return nil, fmt.Errorf("pram: sv init: %w", err)
+	}
+
+	// computeStars refreshes ST from D: st(v) is true iff v's tree is a
+	// star (all members point directly at the root).
+	computeStars := func() error {
+		if err := m.Step(n, func(p *Proc) {
+			p.Write(stBase+p.ID, 1)
+		}); err != nil {
+			return err
+		}
+		if err := m.Step(n, func(p *Proc) {
+			d := p.Read(dBase + p.ID)
+			dd := p.Read(dBase + int(d))
+			if d != dd {
+				p.Write(stBase+p.ID, 0)
+				p.Write(stBase+int(dd), 0)
+			}
+		}); err != nil {
+			return err
+		}
+		return m.Step(n, func(p *Proc) {
+			d := p.Read(dBase + p.ID)
+			p.Write(stBase+p.ID, p.Read(stBase+int(d)))
+		})
+	}
+
+	snapshotD := func() []Value {
+		out := make([]Value, n)
+		for i := 0; i < n; i++ {
+			out[i] = m.Load(dBase + i)
+		}
+		return out
+	}
+
+	maxIters := 4*log2Ceil(n) + 8
+	iters := 0
+	for {
+		before := snapshotD()
+
+		// Step 1: conditional star hooking (strictly smaller labels).
+		if err := computeStars(); err != nil {
+			return nil, fmt.Errorf("pram: sv stars: %w", err)
+		}
+		if len(dir) > 0 {
+			if err := m.Step(len(dir), func(p *Proc) {
+				e := dir[p.ID]
+				if p.Read(stBase+e.u) == 0 {
+					return
+				}
+				du := p.Read(dBase + e.u)
+				dv := p.Read(dBase + e.v)
+				if dv < du {
+					p.Write(dBase+int(du), dv)
+				}
+			}); err != nil {
+				return nil, fmt.Errorf("pram: sv hook-1: %w", err)
+			}
+		}
+
+		// Step 2: unconditional star hooking for stars step 1 left alone.
+		if err := computeStars(); err != nil {
+			return nil, fmt.Errorf("pram: sv stars-2: %w", err)
+		}
+		if len(dir) > 0 {
+			if err := m.Step(len(dir), func(p *Proc) {
+				e := dir[p.ID]
+				if p.Read(stBase+e.u) == 0 {
+					return
+				}
+				du := p.Read(dBase + e.u)
+				dv := p.Read(dBase + e.v)
+				if dv != du {
+					p.Write(dBase+int(du), dv)
+				}
+			}); err != nil {
+				return nil, fmt.Errorf("pram: sv hook-2: %w", err)
+			}
+		}
+
+		// Step 3: pointer jumping.
+		if err := m.Step(n, func(p *Proc) {
+			d := p.Read(dBase + p.ID)
+			p.Write(dBase+p.ID, p.Read(dBase+int(d)))
+		}); err != nil {
+			return nil, fmt.Errorf("pram: sv shortcut: %w", err)
+		}
+
+		iters++
+		after := snapshotD()
+		stable := true
+		for i := range before {
+			if before[i] != after[i] {
+				stable = false
+				break
+			}
+		}
+		if stable {
+			break
+		}
+		if iters > maxIters {
+			return nil, fmt.Errorf("pram: Shiloach–Vishkin did not stabilise within %d iterations", maxIters)
+		}
+	}
+
+	roots := make([]int, n)
+	for i := 0; i < n; i++ {
+		roots[i] = int(m.Load(dBase + i))
+	}
+	return &ShiloachVishkinResult{
+		Labels:     graph.CanonicalLabels(roots),
+		RootLabels: roots,
+		Iterations: iters,
+		Costs:      m.Costs(),
+	}, nil
+}

@@ -1,0 +1,182 @@
+package pram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gcacc/internal/graph"
+)
+
+func TestShiloachVishkinKnownGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	cases := map[string]*graph.Graph{
+		"empty0":    graph.New(0),
+		"single":    graph.New(1),
+		"edge":      graph.MatchingChain(2),
+		"path16":    graph.Path(16),
+		"path13":    graph.Path(13),
+		"cycle9":    graph.Cycle(9),
+		"star12":    graph.Star(12),
+		"complete9": graph.Complete(9),
+		"cliques":   graph.DisjointCliques(3, 5),
+		"grid":      graph.Grid(5, 5),
+		"empty9":    graph.Empty(9),
+		"btree":     graph.BinaryTree(31),
+		"gnp":       graph.Gnp(30, 0.15, rng),
+	}
+	for name, g := range cases {
+		t.Run(name, func(t *testing.T) {
+			res, err := ShiloachVishkin(g, ShiloachVishkinOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !graph.IsValidComponentLabelling(g, res.Labels) {
+				t.Fatalf("invalid labelling %v (roots %v)", res.Labels, res.RootLabels)
+			}
+		})
+	}
+}
+
+func TestShiloachVishkinMatchesHirschberg(t *testing.T) {
+	// The future-work algorithm agrees with the paper's algorithm on
+	// random graphs — both canonicalised to super-node labels.
+	rng := rand.New(rand.NewSource(203))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.Intn(30)
+		g := graph.Gnp(n, rng.Float64()*rng.Float64(), rng)
+		sv, err := ShiloachVishkin(g, ShiloachVishkinOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := Hirschberg(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sv.Labels {
+			if sv.Labels[i] != h.Labels[i] {
+				t.Fatalf("trial %d (n=%d): SV %v vs Hirschberg %v\n%s",
+					trial, n, sv.Labels, h.Labels, g)
+			}
+		}
+	}
+}
+
+func TestShiloachVishkinQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		g := graph.Gnp(n, rng.Float64()/2, rng)
+		res, err := ShiloachVishkin(g, ShiloachVishkinOptions{})
+		if err != nil {
+			return false
+		}
+		return graph.IsValidComponentLabelling(g, res.Labels)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiloachVishkinLogIterations(t *testing.T) {
+	// Awerbuch–Shiloach: O(log n) iterations; a path is a slow case.
+	for _, n := range []int{16, 64, 256} {
+		g := graph.Path(n)
+		res, err := ShiloachVishkin(g, ShiloachVishkinOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := 4*log2Ceil(n) + 4
+		if res.Iterations > bound {
+			t.Errorf("n=%d: %d iterations, want ≤ %d", n, res.Iterations, bound)
+		}
+	}
+}
+
+func TestShiloachVishkinNeedsCRCW(t *testing.T) {
+	// The hooking steps perform genuinely concurrent writes on dense
+	// graphs: the priority machine must observe write congestion that a
+	// CREW machine would reject. We detect it indirectly: running the
+	// same hook pattern on a CREW machine errors.
+	// A star centred at the highest index: the centre's root label is the
+	// largest, so every incident edge races to hook the same cell D(8).
+	g := graph.New(9)
+	for i := 0; i < 8; i++ {
+		g.AddEdge(i, 8)
+	}
+	n := g.N()
+	m := New(CREW, 2*n)
+	for i := 0; i < n; i++ {
+		m.Store(i, Value(i))
+		m.Store(n+i, 1) // every singleton is a star
+	}
+	edges := g.Edges()
+	type dedge struct{ u, v int }
+	var dir []dedge
+	for _, e := range edges {
+		dir = append(dir, dedge{e.U, e.V}, dedge{e.V, e.U})
+	}
+	err := m.Step(len(dir), func(p *Proc) {
+		e := dir[p.ID]
+		du := p.Read(e.u)
+		dv := p.Read(e.v)
+		if dv < du {
+			p.Write(int(du), dv)
+		}
+	})
+	if err == nil {
+		t.Fatal("CREW machine accepted concurrent hooks; SV should require CRCW")
+	}
+	// And the full algorithm (Priority-CRCW) handles it fine.
+	if _, err := ShiloachVishkin(g, ShiloachVishkinOptions{}); err != nil {
+		t.Fatalf("priority machine failed: %v", err)
+	}
+}
+
+func TestShiloachVishkinDeterministic(t *testing.T) {
+	g := graph.Gnp(40, 0.1, rand.New(rand.NewSource(207)))
+	a, err := ShiloachVishkin(g, ShiloachVishkinOptions{SimWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ShiloachVishkin(g, ShiloachVishkinOptions{SimWorkers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.RootLabels {
+		if a.RootLabels[i] != b.RootLabels[i] {
+			t.Fatal("priority CRCW not deterministic across worker counts")
+		}
+	}
+}
+
+func TestCRCWModes(t *testing.T) {
+	// Priority: lowest processor wins.
+	m := New(CRCWPriority, 1)
+	if err := m.Step(4, func(p *Proc) {
+		p.Write(0, Value(10+p.ID))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Load(0) != 10 {
+		t.Fatalf("priority winner = %d, want 10", m.Load(0))
+	}
+	// Common: equal values fine, differing values error.
+	c := New(CRCWCommon, 1)
+	if err := c.Step(4, func(p *Proc) {
+		p.Write(0, 7)
+	}); err != nil {
+		t.Fatalf("common equal writes rejected: %v", err)
+	}
+	if c.Load(0) != 7 {
+		t.Fatal("common write lost")
+	}
+	if err := c.Step(2, func(p *Proc) {
+		p.Write(0, Value(p.ID))
+	}); err == nil {
+		t.Fatal("common differing writes accepted")
+	}
+	if CRCWCommon.String() != "CRCW-Common" || CRCWPriority.String() != "CRCW-Priority" {
+		t.Fatal("mode names wrong")
+	}
+}

@@ -1,0 +1,50 @@
+package tc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gcacc/internal/graph"
+)
+
+func benchGraph(n int) *graph.Graph {
+	return graph.Gnp(n, 0.3, rand.New(rand.NewSource(9)))
+}
+
+func BenchmarkWarshall(b *testing.B) {
+	for _, n := range []int{32, 128, 512} {
+		g := benchGraph(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Warshall(g)
+			}
+		})
+	}
+}
+
+func BenchmarkGCAClosure(b *testing.B) {
+	for _, n := range []int{16, 32} {
+		g := benchGraph(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := GCA(g, GCAOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPRAMClosure(b *testing.B) {
+	for _, n := range []int{16, 32} {
+		g := benchGraph(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := PRAM(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,163 @@
+// Package tc implements transitive closure — the other problem of
+// Hirschberg's 1976 paper ("Parallel algorithms for the transitive
+// closure and the connected component problems") and the natural next
+// entry in the reproduced paper's stated future work. Three engines:
+//
+//   - Warshall: the word-parallel sequential baseline, O(n³/w);
+//   - a CROW-PRAM implementation by repeated boolean matrix squaring,
+//     B ← B ∨ B², ⌈log₂ n⌉ times with n³ processors (the textbook
+//     O(log² n) closure);
+//   - a **two-handed** GCA program: n² cells, one per matrix entry, where
+//     cell (i,j) scans k = 0…n-1 reading D(i,k) with one hand and D(k,j)
+//     with the other — exercising the paper's "two handed" GCA variant,
+//     which the one-pointer Hirschberg mapping never needs.
+//
+// For a symmetric adjacency matrix the reflexive-transitive closure is
+// the component equivalence relation, so closure-derived labels must
+// equal union-find labels — the cross-validation the tests enforce.
+package tc
+
+import (
+	"fmt"
+
+	"gcacc/internal/graph"
+	"gcacc/internal/pram"
+)
+
+// Closure is a reflexive-transitive closure matrix.
+type Closure struct {
+	N    int
+	Bits graph.BitMatrix
+}
+
+// Reachable reports whether j is reachable from i (including i = j).
+func (c *Closure) Reachable(i, j int) bool { return c.Bits.Get(i, j) }
+
+// ComponentLabels derives super-node labels from a closure of a symmetric
+// matrix: label(i) = min{ j : Reachable(i, j) }.
+func (c *Closure) ComponentLabels() []int {
+	labels := make([]int, c.N)
+	for i := 0; i < c.N; i++ {
+		row := c.Bits.RowIndices(i, nil)
+		labels[i] = i
+		if len(row) > 0 && row[0] < i {
+			labels[i] = row[0]
+		}
+	}
+	return labels
+}
+
+// Warshall computes the closure sequentially, word-parallel: for each
+// pivot k, every row i with B(i,k)=1 ORs in row k.
+func Warshall(g *graph.Graph) *Closure {
+	n := g.N()
+	b := g.Adjacency().Clone()
+	for i := 0; i < n; i++ {
+		b.Set(i, i, true) // reflexive
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if b.Get(i, k) {
+				b.OrRowInto(i, k)
+			}
+		}
+	}
+	return &Closure{N: n, Bits: b}
+}
+
+// PRAMResult is the outcome of the PRAM squaring closure.
+type PRAMResult struct {
+	Closure   *Closure
+	Squarings int
+	Costs     pram.Costs
+}
+
+// PRAM computes the closure by ⌈log₂ n⌉ boolean squarings on a CROW
+// machine with n³ processors and n³ temporaries (mirroring the reproduced
+// paper's n² temporaries for the min computations, one dimension up).
+//
+// Memory: B(i,j) at i·n + j; TMP(i,j,k) at n² + (i·n + j)·n + k.
+func PRAM(g *graph.Graph) (*PRAMResult, error) {
+	n := g.N()
+	if n == 0 {
+		return &PRAMResult{Closure: &Closure{N: 0, Bits: graph.NewBitMatrix(0, 0)}}, nil
+	}
+	memSize := n*n + n*n*n
+	m := pram.New(pram.CROW, memSize)
+	adj := g.Adjacency()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || adj.Get(i, j) {
+				m.Store(i*n+j, 1)
+			}
+			m.SetOwner(i*n+j, i*n+j)
+			for k := 0; k < n; k++ {
+				m.SetOwner(n*n+(i*n+j)*n+k, (i*n+j)*n+k)
+			}
+		}
+	}
+
+	logn := log2Ceil(n)
+	for sq := 0; sq < logn; sq++ {
+		// TMP(i,j,k) ← B(i,k) ∧ B(k,j).
+		if err := m.Step(n*n*n, func(p *pram.Proc) {
+			k := p.ID % n
+			ij := p.ID / n
+			i, j := ij/n, ij%n
+			v := p.Read(i*n+k) & p.Read(k*n+j)
+			p.Write(n*n+p.ID, v)
+		}); err != nil {
+			return nil, fmt.Errorf("tc: squaring %d multiply: %w", sq, err)
+		}
+		// OR-reduce TMP(i,j,·) into TMP(i,j,0).
+		for stride := 1; stride < n; stride *= 2 {
+			s := stride
+			if err := m.Step(n*n*n, func(p *pram.Proc) {
+				k := p.ID % n
+				if k%(2*s) != 0 || k+s >= n {
+					return
+				}
+				a := p.Read(n*n + p.ID)
+				b := p.Read(n*n + p.ID + s)
+				if a|b != a {
+					p.Write(n*n+p.ID, a|b)
+				}
+			}); err != nil {
+				return nil, fmt.Errorf("tc: squaring %d reduce: %w", sq, err)
+			}
+		}
+		// B(i,j) ← B(i,j) ∨ TMP(i,j,0).
+		if err := m.Step(n*n, func(p *pram.Proc) {
+			b := p.Read(p.ID)
+			t := p.Read(n*n + p.ID*n)
+			if b|t != b {
+				p.Write(p.ID, b|t)
+			}
+		}); err != nil {
+			return nil, fmt.Errorf("tc: squaring %d commit: %w", sq, err)
+		}
+	}
+
+	bits := graph.NewBitMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if m.Load(i*n+j) != 0 {
+				bits.Set(i, j, true)
+			}
+		}
+	}
+	return &PRAMResult{
+		Closure:   &Closure{N: n, Bits: bits},
+		Squarings: logn,
+		Costs:     m.Costs(),
+	}, nil
+}
+
+func log2Ceil(n int) int {
+	k, p := 0, 1
+	for p < n {
+		p <<= 1
+		k++
+	}
+	return k
+}
