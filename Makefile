@@ -1,0 +1,30 @@
+# Pre-merge gate: `make check` runs everything a PR must pass.
+# `go build ./... && go test ./...` remains the quick tier-1 subset.
+
+GO ?= go
+
+.PHONY: all build vet test test-race check bench serve
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The serving layer is concurrency-heavy; its tests (and everything else)
+# must stay clean under the race detector.
+test-race:
+	$(GO) test -race ./...
+
+check: build vet test test-race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+serve:
+	$(GO) run ./cmd/gca-serve

@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
+	"gcacc"
 	"gcacc/internal/congestion"
 	"gcacc/internal/core"
 	"gcacc/internal/graph"
@@ -26,7 +28,8 @@ func main() {
 	var (
 		in     = flag.String("in", "-", "input file ('-' = stdin)")
 		format = flag.String("format", "edges", "input format: edges|matrix")
-		engine = flag.String("engine", "gca", "engine: gca|pram|bfs|dfs|unionfind")
+		engine = flag.String("engine", "gca",
+			"engine: "+strings.Join(gcacc.EngineNames(), "|")+"|bfs|dfs|unionfind")
 		stats  = flag.Bool("stats", false, "print per-generation statistics (gca engine)")
 		quiet  = flag.Bool("quiet", false, "suppress per-vertex output")
 	)
@@ -82,8 +85,23 @@ func readGraph(path, format string) (*graph.Graph, error) {
 }
 
 func run(g *graph.Graph, engine string, stats bool) (labels []int, extra string, err error) {
+	// Sequential baselines that are not facade engines.
 	switch engine {
-	case "gca":
+	case "bfs":
+		return graph.ConnectedComponentsBFS(g), "", nil
+	case "dfs":
+		return graph.ConnectedComponentsDFS(g), "", nil
+	case "unionfind":
+		return graph.ConnectedComponentsUnionFind(g), "", nil
+	}
+
+	// Everything else goes through the facade's shared engine parser.
+	eng, err := gcacc.ParseEngine(engine)
+	if err != nil {
+		return nil, "", fmt.Errorf("%w (or a baseline: bfs|dfs|unionfind)", err)
+	}
+	switch eng {
+	case gcacc.EngineGCA:
 		res, err := core.Run(g, core.Options{CollectStats: stats})
 		if err != nil {
 			return nil, "", err
@@ -95,7 +113,7 @@ func run(g *graph.Graph, engine string, stats bool) (labels []int, extra string,
 			extra += congestion.FormatComparison(congestion.PaperTable1(g.N()), measured)
 		}
 		return res.Labels, extra, nil
-	case "pram":
+	case gcacc.EnginePRAM:
 		res, err := pram.Hirschberg(g, pram.Options{})
 		if err != nil {
 			return nil, "", err
@@ -104,13 +122,14 @@ func run(g *graph.Graph, engine string, stats bool) (labels []int, extra string,
 		extra = fmt.Sprintf("# pram steps=%d work=%d reads=%d writes=%d maxδ=%d\n",
 			c.Steps, c.Work, c.Reads, c.Writes, c.MaxReadCongestion)
 		return res.Labels, extra, nil
-	case "bfs":
-		return graph.ConnectedComponentsBFS(g), "", nil
-	case "dfs":
-		return graph.ConnectedComponentsDFS(g), "", nil
-	case "unionfind":
-		return graph.ConnectedComponentsUnionFind(g), "", nil
 	default:
-		return nil, "", fmt.Errorf("unknown engine %q", engine)
+		rep, err := gcacc.ConnectedComponentsWith(g, gcacc.Options{Engine: eng})
+		if err != nil {
+			return nil, "", err
+		}
+		if rep.Generations > 0 {
+			extra = fmt.Sprintf("# %s generations=%d\n", eng, rep.Generations)
+		}
+		return rep.Labels, extra, nil
 	}
 }

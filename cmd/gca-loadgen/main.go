@@ -1,0 +1,191 @@
+// Command gca-loadgen is a closed-loop load generator for gca-serve: c
+// workers each keep exactly one request in flight against POST
+// /v1/components and the tool reports sustained throughput and latency
+// percentiles — the macro-benchmark future serving-layer PRs move.
+//
+//	gca-serve -addr :8080 &
+//	gca-loadgen -addr http://localhost:8080 -c 8 -d 10s -vertices 64 -distinct 4
+//
+// With -distinct k the workers cycle through k different random graphs,
+// so a cache of ≥ k entries converges to a pure hit workload; -nocache
+// forces an engine run per request instead.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gcacc"
+	"gcacc/internal/graph"
+	"gcacc/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://localhost:8080", "gca-serve base URL")
+		engine      = flag.String("engine", "gca", "engine: "+strings.Join(gcacc.EngineNames(), "|"))
+		concurrency = flag.Int("c", 8, "closed-loop workers (requests in flight)")
+		total       = flag.Int("n", 0, "total requests (0 = run for -d)")
+		duration    = flag.Duration("d", 10*time.Second, "run duration when -n is 0")
+		vertices    = flag.Int("vertices", 64, "vertices per generated graph")
+		prob        = flag.Float64("p", 0.06, "edge probability of the generated graphs")
+		distinct    = flag.Int("distinct", 4, "number of distinct graphs cycled through")
+		format      = flag.String("format", "edges", "wire format: edges|matrix")
+		seed        = flag.Int64("seed", 1, "graph generator seed")
+		nocache     = flag.Bool("nocache", false, "ask the server to bypass its result cache")
+	)
+	flag.Parse()
+
+	if _, err := gcacc.ParseEngine(*engine); err != nil {
+		fatal(err)
+	}
+	if *concurrency < 1 || *distinct < 1 || *vertices < 1 {
+		fatal(fmt.Errorf("need -c, -distinct and -vertices >= 1"))
+	}
+
+	// Pre-serialize the request bodies; generation cost must not pollute
+	// the latency measurement.
+	rng := rand.New(rand.NewSource(*seed))
+	bodies := make([][]byte, *distinct)
+	for i := range bodies {
+		g := graph.Gnp(*vertices, *prob, rng)
+		var buf bytes.Buffer
+		var err error
+		switch *format {
+		case "edges":
+			err = graph.WriteEdgeList(&buf, g)
+		case "matrix":
+			err = graph.WriteMatrix(&buf, g)
+		default:
+			err = fmt.Errorf("unknown format %q (edges|matrix)", *format)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		bodies[i] = buf.Bytes()
+	}
+
+	url := strings.TrimSuffix(*addr, "/") + "/v1/components?labels=0&format=" + *format + "&engine=" + *engine
+	if *nocache {
+		url += "&nocache=1"
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	// Probe liveness before unleashing the loop.
+	if resp, err := client.Get(strings.TrimSuffix(*addr, "/") + "/healthz"); err != nil {
+		fatal(fmt.Errorf("server not reachable: %w", err))
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	type workerStats struct {
+		latencies []time.Duration
+		ok        int
+		rejected  int // 429
+		failed    int // transport errors and other non-200s
+	}
+	var (
+		issued   atomic.Int64
+		deadline = time.Now().Add(*duration)
+		stats    = make([]workerStats, *concurrency)
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &stats[w]
+			for {
+				i := issued.Add(1) - 1
+				if *total > 0 {
+					if int(i) >= *total {
+						return
+					}
+				} else if time.Now().After(deadline) {
+					return
+				}
+				body := bodies[int(i)%len(bodies)]
+				t0 := time.Now()
+				resp, err := client.Post(url, "text/plain", bytes.NewReader(body))
+				lat := time.Since(t0)
+				if err != nil {
+					st.failed++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					st.ok++
+					st.latencies = append(st.latencies, lat)
+				case http.StatusTooManyRequests:
+					st.rejected++
+				default:
+					st.failed++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	ok, rejected, failed := 0, 0, 0
+	for i := range stats {
+		all = append(all, stats[i].latencies...)
+		ok += stats[i].ok
+		rejected += stats[i].rejected
+		failed += stats[i].failed
+	}
+	fmt.Printf("# loadgen engine=%s vertices=%d p=%.3f distinct=%d c=%d nocache=%v\n",
+		*engine, *vertices, *prob, *distinct, *concurrency, *nocache)
+	fmt.Printf("requests=%d ok=%d rejected429=%d failed=%d elapsed=%.2fs throughput=%.1f req/s\n",
+		ok+rejected+failed, ok, rejected, failed, elapsed.Seconds(),
+		float64(ok)/elapsed.Seconds())
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		var sum time.Duration
+		for _, d := range all {
+			sum += d
+		}
+		fmt.Printf("latency: p50=%s p90=%s p99=%s mean=%s min=%s max=%s\n",
+			quantile(all, 0.50), quantile(all, 0.90), quantile(all, 0.99),
+			(sum / time.Duration(len(all))).Round(time.Microsecond),
+			all[0], all[len(all)-1])
+	}
+
+	// Server-side view: cache effectiveness and queue behaviour.
+	if resp, err := client.Get(strings.TrimSuffix(*addr, "/") + "/v1/stats"); err == nil {
+		defer resp.Body.Close()
+		var st service.Stats
+		if json.NewDecoder(resp.Body).Decode(&st) == nil {
+			fmt.Printf("server: completed=%d cache_hits=%d cache_misses=%d coalesced=%d rejected429=%d generations=%d\n",
+				st.Completed, st.CacheHits, st.CacheMisses, st.Coalesced, st.RejectedFull, st.Generations)
+			fmt.Printf("server: queue_wait p50=%dµs p99=%dµs · run p50=%dµs p99=%dµs\n",
+				st.QueueWait.P50US, st.QueueWait.P99US, st.RunTime.P50US, st.RunTime.P99US)
+		}
+	}
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx].Round(time.Microsecond)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gca-loadgen:", err)
+	os.Exit(1)
+}

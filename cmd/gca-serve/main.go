@@ -1,0 +1,215 @@
+// Command gca-serve exposes the connected-components engine zoo as a
+// long-running HTTP service backed by internal/service (bounded queue,
+// worker pool, content-addressed result cache, admission control,
+// graceful drain).
+//
+//	gca-serve -addr :8080 -workers 4 -queue 256 -cache 512
+//
+// API:
+//
+//	POST /v1/components?format=edges|matrix&engine=gca&nocache=1&labels=0
+//	    Body is a graph in the "edges" or "matrix" text format of
+//	    internal/graph/io.go. Returns the labelling as JSON. A full queue
+//	    answers 429, an oversized graph 413, an expired deadline 504.
+//	GET  /v1/stats      JSON metrics snapshot (queue, cache, latencies).
+//	GET  /healthz       liveness probe.
+//	GET  /debug/vars    the same snapshot via expvar.
+//
+// SIGINT/SIGTERM drain in-flight jobs before exit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gcacc"
+	"gcacc/internal/graph"
+	"gcacc/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		queueDepth  = flag.Int("queue", 256, "job queue depth (admission bound)")
+		workers     = flag.Int("workers", 4, "worker pool size (concurrent engine runs)")
+		simWorkers  = flag.Int("sim-workers", 0, "total simulator goroutine budget shared by the pool (0 = GOMAXPROCS)")
+		cacheSize   = flag.Int("cache", 512, "result cache entries (negative disables)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request deadline (0 = none)")
+		maxVertices = flag.Int("max-vertices", graph.MaxParseVertices, "largest admitted graph")
+		maxBody     = flag.Int64("max-body", 64<<20, "largest accepted request body in bytes")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		QueueDepth:     *queueDepth,
+		Workers:        *workers,
+		SimWorkers:     *simWorkers,
+		CacheEntries:   *cacheSize,
+		DefaultTimeout: *timeout,
+		MaxVertices:    *maxVertices,
+		ExpvarName:     "gcacc_service",
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/components", componentsHandler(svc, *maxBody))
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.Handle("GET /debug/vars", expvar.Handler())
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	cfg := svc.Config()
+	log.Printf("gca-serve: listening on %s (workers=%d sim-workers=%d queue=%d cache=%d engines=%s)",
+		*addr, cfg.Workers, cfg.SimWorkers, cfg.QueueDepth, cfg.CacheEntries,
+		strings.Join(gcacc.EngineNames(), ","))
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("gca-serve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("gca-serve: shutting down, draining in-flight jobs")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("gca-serve: http shutdown: %v", err)
+	}
+	svc.Close()
+	log.Printf("gca-serve: bye")
+}
+
+// componentsResponse is the JSON body of a successful labelling.
+type componentsResponse struct {
+	N           int    `json:"n"`
+	Components  int    `json:"components"`
+	Engine      string `json:"engine"`
+	Cached      bool   `json:"cached"`
+	Coalesced   bool   `json:"coalesced"`
+	Generations int    `json:"generations,omitempty"`
+	PRAMSteps   int    `json:"pram_steps,omitempty"`
+	WaitUS      int64  `json:"wait_us"`
+	RunUS       int64  `json:"run_us"`
+	Labels      []int  `json:"labels,omitempty"`
+}
+
+func componentsHandler(svc *service.Service, maxBody int64) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		engineName := q.Get("engine")
+		if engineName == "" {
+			engineName = "gca"
+		}
+		eng, err := gcacc.ParseEngine(engineName)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+
+		body := http.MaxBytesReader(w, r.Body, maxBody)
+		var g *graph.Graph
+		switch format := q.Get("format"); format {
+		case "", "edges":
+			g, err = graph.ReadEdgeList(body)
+		case "matrix":
+			g, err = graph.ReadMatrix(body)
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (edges|matrix)", format))
+			return
+		}
+		if err != nil {
+			// MaxBytesReader surfaces through the parser; keep the 413.
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge, err)
+				return
+			}
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+
+		res, err := svc.Submit(r.Context(), service.Request{
+			Graph:   g,
+			Engine:  eng,
+			NoCache: q.Get("nocache") == "1",
+		})
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+
+		resp := componentsResponse{
+			N:           g.N(),
+			Components:  res.Components,
+			Engine:      res.Engine,
+			Cached:      res.Cached,
+			Coalesced:   res.Coalesced,
+			Generations: res.Generations,
+			PRAMSteps:   res.PRAMSteps,
+			WaitUS:      res.Wait.Microseconds(),
+			RunUS:       res.Run.Microseconds(),
+		}
+		if q.Get("labels") != "0" {
+			resp.Labels = res.Labels
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// statusOf maps serving-layer errors onto HTTP status codes — the
+// admission contract of the ISSUE: full queue means 429, not queueing
+// forever.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, service.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, service.ErrTooLarge):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, service.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, service.ErrInvalidEngine), errors.Is(err, service.ErrNilGraph):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(os.Stderr, "gca-serve: encoding response:", err)
+	}
+}

@@ -24,6 +24,9 @@
 package gcacc
 
 import (
+	"context"
+	"fmt"
+
 	"gcacc/internal/core"
 	"gcacc/internal/graph"
 	"gcacc/internal/hw"
@@ -80,15 +83,56 @@ func (e Engine) String() string {
 	}
 }
 
+// Valid reports whether e names an implemented engine.
+func (e Engine) Valid() bool { return e >= EngineGCA && e <= EngineHardware }
+
+// Engines returns all implemented engines in declaration order.
+func Engines() []Engine {
+	return []Engine{EngineGCA, EnginePRAM, EngineSequential, EngineNCell, EngineHardware}
+}
+
+// EngineNames returns the parseable engine names in declaration order.
+func EngineNames() []string {
+	es := Engines()
+	names := make([]string, len(es))
+	for i, e := range es {
+		names[i] = e.String()
+	}
+	return names
+}
+
+// ParseEngine maps an engine name ("gca", "pram", "sequential", "ncell",
+// "hardware") to its Engine value. It is the one engine-name parser shared
+// by cmd/gca-cc, cmd/gca-serve and cmd/gca-loadgen.
+func ParseEngine(name string) (Engine, error) {
+	for _, e := range Engines() {
+		if name == e.String() {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("gcacc: unknown engine %q (valid: %v)", name, EngineNames())
+}
+
 // Options configures ConnectedComponentsWith.
+//
+// Not every knob applies to every engine:
+//
+//   - Workers (simulator goroutines; < 1 selects GOMAXPROCS) is honoured
+//     by EngineGCA, EnginePRAM, EngineNCell and EngineHardware. It never
+//     changes results — every engine is bit-identical for every worker
+//     count. EngineSequential is a single-threaded baseline and ignores
+//     it.
+//   - CollectStats (per-generation activity and congestion records) is
+//     meaningful only for EngineGCA; the other engines return no Records.
 type Options struct {
-	// Engine selects the implementation (default EngineGCA).
+	// Engine selects the implementation (default EngineGCA). Values
+	// outside the declared engines are rejected with an error.
 	Engine Engine
-	// Workers is the number of simulator goroutines (GCA engine);
-	// < 1 selects GOMAXPROCS.
+	// Workers is the number of simulator goroutines; < 1 selects
+	// GOMAXPROCS. See the applicability table above.
 	Workers int
 	// CollectStats gathers per-generation activity and congestion
-	// records (GCA engine).
+	// records (GCA engine only).
 	CollectStats bool
 }
 
@@ -121,45 +165,23 @@ func ConnectedComponents(g *Graph) ([]int, error) {
 }
 
 // ConnectedComponentsWith computes components with explicit options and a
-// detailed report.
+// detailed report. Options.Engine values outside the declared engines are
+// an error — there is no silent fallback to the default engine.
 func ConnectedComponentsWith(g *Graph, opt Options) (*Report, error) {
+	return ConnectedComponentsWithContext(context.Background(), g, opt)
+}
+
+// ConnectedComponentsWithContext is ConnectedComponentsWith with a
+// deadline: the context is checked between the synchronous steps of the
+// simulated machines, so a cancelled or expired ctx aborts a run
+// mid-computation with the context's error. This is the entry point of
+// the serving layer (internal/service), which threads per-request
+// deadlines down to the engines.
+func ConnectedComponentsWithContext(ctx context.Context, g *Graph, opt Options) (*Report, error) {
 	switch opt.Engine {
-	case EnginePRAM:
-		res, err := pram.Hirschberg(g, pram.Options{})
-		if err != nil {
-			return nil, err
-		}
-		return &Report{
-			Labels:     res.Labels,
-			Components: graph.ComponentCount(res.Labels),
-			PRAMSteps:  res.Costs.Steps,
-		}, nil
-	case EngineSequential:
-		labels := graph.ConnectedComponentsUnionFind(g)
-		return &Report{Labels: labels, Components: graph.ComponentCount(labels)}, nil
-	case EngineNCell:
-		res, err := ncell.Run(g, ncell.Options{Workers: opt.Workers})
-		if err != nil {
-			return nil, err
-		}
-		return &Report{
-			Labels:      res.Labels,
-			Components:  graph.ComponentCount(res.Labels),
-			Generations: res.Generations,
-		}, nil
-	case EngineHardware:
-		ca := hw.NewCellArray(g)
-		labels, err := ca.Run()
-		if err != nil {
-			return nil, err
-		}
-		return &Report{
-			Labels:      labels,
-			Components:  graph.ComponentCount(labels),
-			Generations: ca.Cycles,
-		}, nil
-	default:
+	case EngineGCA:
 		res, err := core.Run(g, core.Options{
+			Ctx:          ctx,
 			Workers:      opt.Workers,
 			CollectStats: opt.CollectStats,
 		})
@@ -172,6 +194,49 @@ func ConnectedComponentsWith(g *Graph, opt Options) (*Report, error) {
 			Generations: res.Generations,
 			Records:     res.Records,
 		}, nil
+	case EnginePRAM:
+		res, err := pram.Hirschberg(g, pram.Options{
+			Ctx:        ctx,
+			SimWorkers: opt.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Report{
+			Labels:     res.Labels,
+			Components: graph.ComponentCount(res.Labels),
+			PRAMSteps:  res.Costs.Steps,
+		}, nil
+	case EngineSequential:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		labels := graph.ConnectedComponentsUnionFind(g)
+		return &Report{Labels: labels, Components: graph.ComponentCount(labels)}, nil
+	case EngineNCell:
+		res, err := ncell.Run(g, ncell.Options{Ctx: ctx, Workers: opt.Workers})
+		if err != nil {
+			return nil, err
+		}
+		return &Report{
+			Labels:      res.Labels,
+			Components:  graph.ComponentCount(res.Labels),
+			Generations: res.Generations,
+		}, nil
+	case EngineHardware:
+		ca := hw.NewCellArray(g)
+		ca.Workers = opt.Workers
+		labels, err := ca.RunContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &Report{
+			Labels:      labels,
+			Components:  graph.ComponentCount(labels),
+			Generations: ca.Cycles,
+		}, nil
+	default:
+		return nil, fmt.Errorf("gcacc: invalid engine %d (valid: %v)", int(opt.Engine), EngineNames())
 	}
 }
 

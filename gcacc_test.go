@@ -1,6 +1,8 @@
 package gcacc
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -103,6 +105,48 @@ func TestEngineString(t *testing.T) {
 		EngineSequential.String() != "sequential" || EngineNCell.String() != "ncell" ||
 		EngineHardware.String() != "hardware" || Engine(9).String() != "unknown" {
 		t.Fatal("engine names wrong")
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	for _, e := range Engines() {
+		got, err := ParseEngine(e.String())
+		if err != nil || got != e {
+			t.Fatalf("ParseEngine(%q) = %v, %v; want %v", e.String(), got, err, e)
+		}
+		if !e.Valid() {
+			t.Fatalf("engine %s reported invalid", e)
+		}
+	}
+	for _, bad := range []string{"", "GCA", "unknown", "bfs"} {
+		if _, err := ParseEngine(bad); err == nil {
+			t.Fatalf("ParseEngine(%q) accepted an unknown name", bad)
+		}
+	}
+	if Engine(9).Valid() || Engine(-1).Valid() {
+		t.Fatal("out-of-range engine reported valid")
+	}
+}
+
+func TestInvalidEngineRejected(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	if _, err := ConnectedComponentsWith(g, Options{Engine: Engine(9)}); err == nil {
+		t.Fatal("out-of-range engine must be an error, not a silent GCA run")
+	}
+	if _, err := ConnectedComponentsWith(g, Options{Engine: Engine(-3)}); err == nil {
+		t.Fatal("negative engine must be an error")
+	}
+}
+
+func TestContextCancelAbortsEngines(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := graph.Gnp(32, 0.1, rand.New(rand.NewSource(5)))
+	for _, e := range Engines() {
+		if _, err := ConnectedComponentsWithContext(ctx, g, Options{Engine: e}); !errors.Is(err, context.Canceled) {
+			t.Errorf("engine %s with cancelled ctx: err = %v, want context.Canceled", e, err)
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"gcacc/internal/gca"
@@ -9,6 +10,10 @@ import (
 
 // Options configures a run of the GCA program.
 type Options struct {
+	// Ctx, if non-nil, is checked between committed generations: a
+	// cancelled or expired context aborts the run with the context's
+	// error. Nil means "never cancel".
+	Ctx context.Context
 	// Workers is the number of goroutines stepping the cell field;
 	// values < 1 select GOMAXPROCS.
 	Workers int
@@ -102,6 +107,12 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 
 	res := &Result{N: n, Iterations: iters}
 	step := func(ctx gca.Context) error {
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				return fmt.Errorf("core: iteration %d generation %d: %w",
+					ctx.Iteration, ctx.Generation, err)
+			}
+		}
 		s, err := machine.Step(ctx)
 		if err != nil {
 			return fmt.Errorf("core: iteration %d generation %d sub %d: %w",

@@ -1,0 +1,31 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Fingerprint returns a canonical content hash of the graph: SHA-256 over
+// the vertex count followed by the adjacency bit-matrix words in row-major
+// order. Two graphs have equal fingerprints iff they have the same vertex
+// count and edge set (up to hash collisions), independent of the order in
+// which edges were inserted — the adjacency matrix is the canonical form.
+//
+// The fingerprint is the cache key of the serving layer
+// (internal/service): a request's result is addressed by what graph it
+// computes on, not how the request arrived.
+func (g *Graph) Fingerprint() [32]byte {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(g.n))
+	h.Write(buf[:])
+	// The padding bits beyond column n-1 in each row word are always zero
+	// (Set never touches them), so the raw words are already canonical.
+	for _, w := range g.adj.words {
+		binary.LittleEndian.PutUint64(buf[:], w)
+		h.Write(buf[:])
+	}
+	var sum [32]byte
+	h.Sum(sum[:0])
+	return sum
+}

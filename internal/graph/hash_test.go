@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFingerprintDeterministic(t *testing.T) {
+	g := Gnp(40, 0.2, rand.New(rand.NewSource(1)))
+	if g.Fingerprint() != g.Fingerprint() {
+		t.Fatal("fingerprint of the same graph differs between calls")
+	}
+	if g.Fingerprint() != g.Clone().Fingerprint() {
+		t.Fatal("fingerprint differs between a graph and its clone")
+	}
+}
+
+func TestFingerprintInsertionOrderIndependent(t *testing.T) {
+	edges := [][2]int{{0, 1}, {1, 2}, {3, 4}, {2, 5}, {0, 5}}
+	a := New(6)
+	for _, e := range edges {
+		a.AddEdge(e[0], e[1])
+	}
+	b := New(6)
+	for i := len(edges) - 1; i >= 0; i-- {
+		b.AddEdge(edges[i][1], edges[i][0])
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprint depends on edge insertion order")
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	a := Path(8)
+	b := Path(8)
+	b.AddEdge(0, 7) // now a cycle
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("fingerprint collision between path and cycle")
+	}
+	if Empty(4).Fingerprint() == Empty(5).Fingerprint() {
+		t.Fatal("fingerprint ignores vertex count")
+	}
+	c := Path(8)
+	c.RemoveEdge(0, 1)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("fingerprint unchanged after edge removal")
+	}
+}

@@ -1,7 +1,10 @@
 package hw
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"gcacc/internal/core"
 	"gcacc/internal/gca"
@@ -43,6 +46,14 @@ type CellArray struct {
 	// Scratch next-state buffer (the "master" stage of the two-phase
 	// clocking).
 	next []gca.Value
+
+	// Workers is the number of simulator goroutines evaluating cells of a
+	// clock cycle; values < 1 select GOMAXPROCS, 1 steps the array
+	// serially. The hardware is fully parallel, so sharding the
+	// evaluation loop changes nothing observable: each cell's next state
+	// depends only on the current registers. Tiny arrays are always
+	// stepped serially — goroutine fan-out costs more than it saves.
+	Workers int
 
 	// Cycles counts clock cycles of the last Run.
 	Cycles int
@@ -158,10 +169,46 @@ func (ca *CellArray) staticInput(gen, sub, idx int) gca.Value {
 	return ca.d[src]
 }
 
+// minShard is the smallest per-goroutine cell range worth sharding.
+const minShard = 256
+
 // clock advances the array one cycle in the given generation/sub state.
 func (ca *CellArray) clock(gen, sub int) {
+	size := len(ca.d)
+	workers := ca.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 && size >= 2*minShard {
+		chunk := (size + workers - 1) / workers
+		if chunk < minShard {
+			chunk = minShard
+		}
+		var wg sync.WaitGroup
+		for lo := 0; lo < size; lo += chunk {
+			hi := lo + chunk
+			if hi > size {
+				hi = size
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				ca.clockRange(gen, sub, lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		ca.clockRange(gen, sub, 0, size)
+	}
+	ca.d, ca.next = ca.next, ca.d
+	ca.Cycles++
+}
+
+// clockRange evaluates cells [lo, hi) of the next cycle. Next state is a
+// pure function of the current registers, so ranges are independent.
+func (ca *CellArray) clockRange(gen, sub, lo, hi int) {
 	n := ca.n
-	for idx := range ca.d {
+	for idx := lo; idx < hi; idx++ {
 		row, col := idx/n, idx%n
 		d := ca.d[idx]
 		var out gca.Value
@@ -226,13 +273,15 @@ func (ca *CellArray) clock(gen, sub int) {
 		}
 		ca.next[idx] = out
 	}
-	ca.d, ca.next = ca.next, ca.d
-	ca.Cycles++
 }
 
 // Run executes the full program — the control FSM of Figure 4 — and
 // returns the component labels from column 0.
-func (ca *CellArray) Run() ([]int, error) {
+func (ca *CellArray) Run() ([]int, error) { return ca.RunContext(nil) }
+
+// RunContext is Run with a deadline: a non-nil ctx is checked between
+// clock cycles and aborts the run with the context's error.
+func (ca *CellArray) RunContext(ctx context.Context) ([]int, error) {
 	n := ca.n
 	if n == 0 {
 		return []int{}, nil
@@ -242,6 +291,11 @@ func (ca *CellArray) Run() ([]int, error) {
 	ca.clock(core.GenInit, 0)
 	for it := 0; it < core.Iterations(n); it++ {
 		for gen := core.GenCopyC; gen <= core.GenFinalMin; gen++ {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("hw: iteration %d generation %d: %w", it, gen, err)
+				}
+			}
 			nSubs := 1
 			switch gen {
 			case core.GenReduceT, core.GenReduceT2, core.GenShortcut:

@@ -28,6 +28,7 @@
 package ncell
 
 import (
+	"context"
 	"fmt"
 
 	"gcacc/internal/gca"
@@ -218,6 +219,10 @@ func (r rule) Update(ctx gca.Context, idx int, self, global gca.Cell) gca.Value 
 
 // Options configures a run.
 type Options struct {
+	// Ctx, if non-nil, is checked between committed generations: a
+	// cancelled or expired context aborts the run with the context's
+	// error. Nil means "never cancel".
+	Ctx context.Context
 	// Workers is the simulator goroutine count (< 1 = GOMAXPROCS).
 	Workers int
 	// CollectStats gathers per-generation records.
@@ -273,6 +278,12 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	}
 	res := &Result{N: n, Iterations: iters}
 	step := func(ctx gca.Context) error {
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				return fmt.Errorf("ncell: iteration %d phase %d: %w",
+					ctx.Iteration, ctx.Generation, err)
+			}
+		}
 		s, err := machine.Step(ctx)
 		if err != nil {
 			return fmt.Errorf("ncell: iteration %d phase %d sub %d: %w",

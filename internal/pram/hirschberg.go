@@ -1,6 +1,7 @@
 package pram
 
 import (
+	"context"
 	"fmt"
 
 	"gcacc/internal/graph"
@@ -64,6 +65,10 @@ func (l Layout) Tmp(i, j int) int { return l.TmpBase + i*l.N + j }
 
 // Options configures a reference run.
 type Options struct {
+	// Ctx, if non-nil, is checked before every synchronous PRAM step: a
+	// cancelled or expired context aborts the run with the context's
+	// error. Nil means "never cancel".
+	Ctx context.Context
 	// Mode is the access discipline to enforce; the algorithm is legal
 	// under CREW and CROW (the default). EREW fails by design: steps 2
 	// and 3 concurrently read C and T entries.
@@ -156,8 +161,19 @@ func Hirschberg(g *graph.Graph, opt Options) (*Result, error) {
 	}
 	logn := log2Ceil(n)
 
+	// step runs one synchronous PRAM step, honouring the caller's
+	// deadline between steps.
+	step := func(procs int, body func(*Proc)) error {
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				return err
+			}
+		}
+		return m.Step(procs, body)
+	}
+
 	// Step 1: C(i) ← i.
-	err := m.Step(n, func(p *Proc) {
+	err := step(n, func(p *Proc) {
 		p.Write(lay.C(p.ID), Value(p.ID))
 	})
 	if err != nil {
@@ -169,7 +185,7 @@ func Hirschberg(g *graph.Graph, opt Options) (*Result, error) {
 	minReduce := func() error {
 		for s := 0; s < logn; s++ {
 			stride := 1 << uint(s)
-			if err := m.Step(n*n, func(p *Proc) {
+			if err := step(n*n, func(p *Proc) {
 				i, j := p.ID/n, p.ID%n
 				if j%(2*stride) != 0 || j+stride >= n {
 					return
@@ -189,7 +205,7 @@ func Hirschberg(g *graph.Graph, opt Options) (*Result, error) {
 	for it := 0; it < iters; it++ {
 		// Step 2: T(i) ← min_j { C(j) | A(i,j)=1 ∧ C(j) ≠ C(i) },
 		// C(i) if none.
-		if err := m.Step(n*n, func(p *Proc) {
+		if err := step(n*n, func(p *Proc) {
 			i, j := p.ID/n, p.ID%n
 			v := Inf
 			if p.Read(lay.A(i, j)) == 1 {
@@ -205,7 +221,7 @@ func Hirschberg(g *graph.Graph, opt Options) (*Result, error) {
 		if err := minReduce(); err != nil {
 			return nil, fmt.Errorf("pram: iteration %d step 2 reduce: %w", it, err)
 		}
-		if err := m.Step(n, func(p *Proc) {
+		if err := step(n, func(p *Proc) {
 			v := p.Read(lay.Tmp(p.ID, 0))
 			if v == Inf {
 				v = p.Read(lay.C(p.ID))
@@ -216,7 +232,7 @@ func Hirschberg(g *graph.Graph, opt Options) (*Result, error) {
 		}
 
 		// Step 3: T(i) ← min_j { T(j) | C(j)=i ∧ T(j) ≠ i }, C(i) if none.
-		if err := m.Step(n*n, func(p *Proc) {
+		if err := step(n*n, func(p *Proc) {
 			i, j := p.ID/n, p.ID%n
 			v := Inf
 			if p.Read(lay.C(j)) == Value(i) {
@@ -231,7 +247,7 @@ func Hirschberg(g *graph.Graph, opt Options) (*Result, error) {
 		if err := minReduce(); err != nil {
 			return nil, fmt.Errorf("pram: iteration %d step 3 reduce: %w", it, err)
 		}
-		if err := m.Step(n, func(p *Proc) {
+		if err := step(n, func(p *Proc) {
 			v := p.Read(lay.Tmp(p.ID, 0))
 			if v == Inf {
 				v = p.Read(lay.C(p.ID))
@@ -249,7 +265,7 @@ func Hirschberg(g *graph.Graph, opt Options) (*Result, error) {
 		}
 
 		// Step 4: C(i) ← T(i).
-		if err := m.Step(n, func(p *Proc) {
+		if err := step(n, func(p *Proc) {
 			p.Write(lay.C(p.ID), p.Read(lay.T(p.ID)))
 		}); err != nil {
 			return nil, fmt.Errorf("pram: iteration %d step 4: %w", it, err)
@@ -257,7 +273,7 @@ func Hirschberg(g *graph.Graph, opt Options) (*Result, error) {
 
 		// Step 5: repeat log n times: T(i) ← T(T(i)).
 		for s := 0; s < logn; s++ {
-			if err := m.Step(n, func(p *Proc) {
+			if err := step(n, func(p *Proc) {
 				t := p.Read(lay.T(p.ID))
 				p.Write(lay.T(p.ID), p.Read(lay.T(int(t))))
 			}); err != nil {
@@ -266,7 +282,7 @@ func Hirschberg(g *graph.Graph, opt Options) (*Result, error) {
 		}
 
 		// Step 6: C(i) ← min(C(T(i)), T(i)).
-		if err := m.Step(n, func(p *Proc) {
+		if err := step(n, func(p *Proc) {
 			t := p.Read(lay.T(p.ID))
 			c := p.Read(lay.C(int(t)))
 			if t < c {

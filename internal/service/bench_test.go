@@ -1,0 +1,50 @@
+package service
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"gcacc"
+	"gcacc/internal/graph"
+)
+
+// BenchmarkServiceThroughput is the in-process macro-benchmark of the
+// serving layer (no sockets): closed-loop submitters drive the full
+// admission → queue → worker-pool → engine path. "cold" forces an engine
+// run per request (the compute-bound ceiling); "cached" measures the
+// content-addressed hit path (the memory-bound ceiling). The gap between
+// the two is what the result cache buys on repeated traffic.
+func BenchmarkServiceThroughput(b *testing.B) {
+	g := graph.Gnp(64, 0.06, rand.New(rand.NewSource(42)))
+
+	bench := func(b *testing.B, req Request) {
+		svc := New(Config{Workers: 4, QueueDepth: 4096})
+		defer svc.Close()
+		ctx := context.Background()
+		// Prime the cache so the cached variant never misses.
+		if !req.NoCache {
+			if _, err := svc.Submit(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := svc.Submit(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	b.Run("cold/gca", func(b *testing.B) {
+		bench(b, Request{Graph: g, Engine: gcacc.EngineGCA, NoCache: true})
+	})
+	b.Run("cold/sequential", func(b *testing.B) {
+		bench(b, Request{Graph: g, Engine: gcacc.EngineSequential, NoCache: true})
+	})
+	b.Run("cached/gca", func(b *testing.B) {
+		bench(b, Request{Graph: g, Engine: gcacc.EngineGCA})
+	})
+}

@@ -1,0 +1,406 @@
+// Package service is the production serving layer over the gcacc engine
+// zoo: a bounded job queue with admission control, a fixed worker pool, a
+// content-addressed LRU result cache with in-flight request coalescing,
+// a stdlib-only metrics registry, and graceful drain on shutdown.
+//
+// The design transfers the paper's resource discipline from the machine
+// model to the process: just as internal/mparch schedules n² virtual
+// cells onto p physical processors with a barrier per generation, the
+// service schedules an unbounded request stream onto a fixed goroutine
+// budget — p concurrent requests share Config.SimWorkers simulator
+// goroutines instead of each spawning GOMAXPROCS of their own, and
+// everything beyond the queue bound is rejected at admission rather than
+// degrading everyone (the HTTP layer maps that rejection to 429).
+//
+// Requests are content-addressed: the cache key is the SHA-256
+// fingerprint of the adjacency bit-matrix plus the engine. Identical
+// concurrent requests are coalesced onto one computation — every engine
+// is deterministic, so one result serves them all, and a key is filled
+// at most once per residency.
+package service
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"gcacc"
+	"gcacc/internal/graph"
+)
+
+// Admission errors. The HTTP layer maps these onto status codes
+// (ErrQueueFull → 429, ErrTooLarge → 413, ErrClosed → 503, the rest 400).
+var (
+	ErrQueueFull     = errors.New("service: job queue full")
+	ErrClosed        = errors.New("service: shutting down")
+	ErrTooLarge      = errors.New("service: graph exceeds the admitted vertex cap")
+	ErrNilGraph      = errors.New("service: nil graph")
+	ErrInvalidEngine = errors.New("service: invalid engine")
+)
+
+// Config sizes the serving layer. The zero value selects sensible
+// defaults for every field.
+type Config struct {
+	// QueueDepth bounds the number of admitted-but-not-yet-running jobs;
+	// a full queue rejects with ErrQueueFull. <= 0 selects 64.
+	QueueDepth int
+	// Workers is the number of pool goroutines executing jobs; <= 0
+	// selects 2. This bounds concurrent engine runs, not simulator
+	// goroutines — see SimWorkers.
+	Workers int
+	// SimWorkers is the total simulator-goroutine budget shared by the
+	// pool: each running job gets SimWorkers/Workers (at least 1), so p
+	// concurrent requests cannot oversubscribe the machine the way p
+	// independent core.Run calls (each defaulting to GOMAXPROCS) would.
+	// <= 0 selects GOMAXPROCS.
+	SimWorkers int
+	// CacheEntries is the LRU result-cache capacity in entries; 0 selects
+	// 256, negative disables caching entirely.
+	CacheEntries int
+	// DefaultTimeout is applied to jobs whose request context carries no
+	// deadline of its own; 0 means no implicit deadline.
+	DefaultTimeout time.Duration
+	// MaxVertices rejects larger graphs at admission (the dense
+	// representation costs n² bits); <= 0 selects graph.MaxParseVertices.
+	MaxVertices int
+	// ExpvarName, if non-empty, publishes the Stats snapshot under this
+	// expvar key. Publish once per process: expvar panics on duplicates.
+	ExpvarName string
+}
+
+// Request is one unit of admitted work.
+type Request struct {
+	// Graph is the input; it must not be mutated while the request is in
+	// flight (the fingerprint taken at admission addresses the result).
+	Graph *graph.Graph
+	// Engine selects the implementation (default EngineGCA).
+	Engine gcacc.Engine
+	// NoCache bypasses both cache lookup and fill for this request — the
+	// load generator's cold path and the throughput benchmark use it.
+	NoCache bool
+}
+
+// Result is what a caller gets back. Labels is the caller's own copy.
+type Result struct {
+	Labels      []int        `json:"labels"`
+	Components  int          `json:"components"`
+	Engine      string       `json:"engine"`
+	Generations int          `json:"generations,omitempty"`
+	PRAMSteps   int          `json:"pram_steps,omitempty"`
+	// Cached reports a result served from the LRU without any engine run.
+	Cached bool `json:"cached"`
+	// Coalesced reports a result served by joining an identical in-flight
+	// computation.
+	Coalesced bool `json:"coalesced"`
+	// Wait is the queue latency (admission → worker pickup) of the run
+	// that produced this result; zero for cache hits.
+	Wait time.Duration `json:"wait_ns"`
+	// Run is the engine execution time of the run that produced this
+	// result; zero for cache hits.
+	Run time.Duration `json:"run_ns"`
+}
+
+// forCaller returns a caller-owned copy of r with per-request provenance.
+func (r *Result) forCaller(cached, coalesced bool) *Result {
+	cp := *r
+	cp.Labels = append([]int(nil), r.Labels...)
+	cp.Cached = cached
+	cp.Coalesced = coalesced
+	return &cp
+}
+
+// flight is one in-progress computation; followers with the same key
+// block on done instead of enqueueing duplicate work.
+type flight struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// job is a queued unit of work.
+type job struct {
+	ctx        context.Context
+	cancel     context.CancelFunc // non-nil when DefaultTimeout applied
+	req        Request
+	key        cacheKey
+	useCache   bool
+	enqueuedAt time.Time
+	fl         *flight
+}
+
+// Service is the serving layer. Create with New, stop with Close.
+type Service struct {
+	cfg        Config
+	simPerJob  int
+	queue      chan *job
+	metrics    metrics
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	cache    *lruCache // nil when caching is disabled; guarded by mu
+	inflight map[cacheKey]*flight
+	closed   bool
+
+	// testHookJobRunning, if set before the first Submit, is called by a
+	// worker after dequeue and before the engine runs. Test-only.
+	testHookJobRunning func(*job)
+}
+
+// New starts the worker pool and returns the service.
+func New(cfg Config) *Service {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.SimWorkers <= 0 {
+		cfg.SimWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 256
+	}
+	if cfg.MaxVertices <= 0 {
+		cfg.MaxVertices = graph.MaxParseVertices
+	}
+	s := &Service{
+		cfg:      cfg,
+		queue:    make(chan *job, cfg.QueueDepth),
+		inflight: make(map[cacheKey]*flight),
+	}
+	s.simPerJob = cfg.SimWorkers / cfg.Workers
+	if s.simPerJob < 1 {
+		s.simPerJob = 1
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = newLRUCache(cfg.CacheEntries)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	if cfg.ExpvarName != "" {
+		expvar.Publish(cfg.ExpvarName, expvar.Func(func() any { return s.Stats() }))
+	}
+	return s
+}
+
+// Config returns the resolved configuration (defaults applied).
+func (s *Service) Config() Config { return s.cfg }
+
+// Submit admits, executes (or cache-serves) one request and blocks until
+// its result is available or ctx is done. Rejections are immediate:
+// ErrQueueFull when the queue is at capacity, ErrClosed after Close has
+// begun, ErrTooLarge/ErrNilGraph/ErrInvalidEngine for inadmissible
+// requests.
+func (s *Service) Submit(ctx context.Context, req Request) (*Result, error) {
+	s.metrics.submitted.inc()
+	if req.Graph == nil {
+		s.metrics.rejectedInvalid.inc()
+		return nil, ErrNilGraph
+	}
+	if !req.Engine.Valid() {
+		s.metrics.rejectedInvalid.inc()
+		return nil, fmt.Errorf("%w: %d", ErrInvalidEngine, int(req.Engine))
+	}
+	if req.Graph.N() > s.cfg.MaxVertices {
+		s.metrics.rejectedInvalid.inc()
+		return nil, fmt.Errorf("%w: %d vertices, cap %d", ErrTooLarge, req.Graph.N(), s.cfg.MaxVertices)
+	}
+
+	useCache := s.cache != nil && !req.NoCache
+	var key cacheKey
+	if useCache {
+		key = cacheKey{fp: req.Graph.Fingerprint(), engine: req.Engine}
+	}
+
+	// Admission. Cache lookup, in-flight join and enqueue happen under
+	// one lock so that a key is computed at most once per cache
+	// residency: a concurrent identical request either hits the cache,
+	// joins the flight, or becomes the unique leader.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.metrics.rejectedClosed.inc()
+		return nil, ErrClosed
+	}
+	if useCache {
+		if res, ok := s.cache.get(key); ok {
+			s.mu.Unlock()
+			s.metrics.cacheHits.inc()
+			return res.forCaller(true, false), nil
+		}
+		if fl, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			s.metrics.coalesced.inc()
+			return s.await(ctx, fl)
+		}
+	}
+
+	jctx := ctx
+	var cancel context.CancelFunc
+	if _, has := ctx.Deadline(); !has && s.cfg.DefaultTimeout > 0 {
+		jctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
+	}
+	jb := &job{
+		ctx:        jctx,
+		cancel:     cancel,
+		req:        req,
+		key:        key,
+		useCache:   useCache,
+		enqueuedAt: time.Now(),
+		fl:         &flight{done: make(chan struct{})},
+	}
+	select {
+	case s.queue <- jb:
+	default:
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		s.metrics.rejectedFull.inc()
+		return nil, ErrQueueFull
+	}
+	if useCache {
+		s.inflight[key] = jb.fl
+		s.metrics.cacheMisses.inc()
+	}
+	s.mu.Unlock()
+	s.metrics.accepted.inc()
+	s.metrics.queueDepth.add(1)
+
+	return s.await(ctx, jb.fl)
+}
+
+// await blocks until the flight resolves or the caller's ctx is done.
+// The computation itself keeps running on the worker when the caller
+// gives up — other followers may still want its result.
+func (s *Service) await(ctx context.Context, fl *flight) (*Result, error) {
+	select {
+	case <-fl.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if fl.err != nil {
+		return nil, fl.err
+	}
+	return fl.res.forCaller(fl.res.Cached, fl.res.Coalesced), nil
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for jb := range s.queue {
+		s.metrics.queueDepth.add(-1)
+		s.runJob(jb)
+	}
+}
+
+func (s *Service) runJob(jb *job) {
+	wait := time.Since(jb.enqueuedAt)
+	s.metrics.queueWait.observe(wait)
+	s.metrics.inFlight.add(1)
+	defer s.metrics.inFlight.add(-1)
+	if s.testHookJobRunning != nil {
+		s.testHookJobRunning(jb)
+	}
+
+	var res *Result
+	err := jb.ctx.Err() // deadline may have passed while queued
+	if err == nil {
+		start := time.Now()
+		var rep *gcacc.Report
+		rep, err = gcacc.ConnectedComponentsWithContext(jb.ctx, jb.req.Graph, gcacc.Options{
+			Engine:  jb.req.Engine,
+			Workers: s.simPerJob,
+		})
+		run := time.Since(start)
+		if err == nil {
+			s.metrics.runTime.observe(run)
+			s.metrics.generations.add(int64(rep.Generations + rep.PRAMSteps))
+			res = &Result{
+				Labels:      rep.Labels,
+				Components:  rep.Components,
+				Engine:      jb.req.Engine.String(),
+				Generations: rep.Generations,
+				PRAMSteps:   rep.PRAMSteps,
+				Wait:        wait,
+				Run:         run,
+			}
+		}
+	}
+	if jb.cancel != nil {
+		jb.cancel()
+	}
+
+	switch {
+	case err == nil:
+		s.metrics.completed.inc()
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.metrics.canceled.inc()
+	default:
+		s.metrics.failed.inc()
+	}
+
+	// Fill the cache and retire the flight atomically, so the next
+	// identical request sees exactly one of: the in-flight entry (join)
+	// or the cached result (hit) — never a gap that admits a second run.
+	if jb.useCache {
+		s.mu.Lock()
+		if err == nil {
+			s.metrics.cacheEvictions.add(int64(s.cache.add(jb.key, res)))
+		}
+		delete(s.inflight, jb.key)
+		s.mu.Unlock()
+	}
+	jb.fl.res, jb.fl.err = res, err
+	close(jb.fl.done)
+}
+
+// Stats snapshots every metric.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	cacheLen := s.cache.len()
+	s.mu.Unlock()
+	m := &s.metrics
+	return Stats{
+		Workers:          s.cfg.Workers,
+		SimWorkersPerJob: s.simPerJob,
+		QueueCapacity:    s.cfg.QueueDepth,
+		QueueDepth:       m.queueDepth.value(),
+		InFlight:         m.inFlight.value(),
+		Submitted:        m.submitted.value(),
+		Accepted:         m.accepted.value(),
+		RejectedFull:     m.rejectedFull.value(),
+		RejectedInvalid:  m.rejectedInvalid.value(),
+		RejectedClosed:   m.rejectedClosed.value(),
+		Completed:        m.completed.value(),
+		Failed:           m.failed.value(),
+		Canceled:         m.canceled.value(),
+		CacheCapacity:    max(s.cfg.CacheEntries, 0),
+		CacheLen:         cacheLen,
+		CacheHits:        m.cacheHits.value(),
+		CacheMisses:      m.cacheMisses.value(),
+		CacheEvictions:   m.cacheEvictions.value(),
+		Coalesced:        m.coalesced.value(),
+		Generations:      m.generations.value(),
+		QueueWait:        m.queueWait.snapshot(),
+		RunTime:          m.runTime.snapshot(),
+	}
+}
+
+// Close stops admission, drains every queued and in-flight job to
+// completion, and waits for the pool to exit. Safe to call twice.
+func (s *Service) Close() {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	if !already {
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
