@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race check bench serve
+.PHONY: all build vet test test-race check verify fuzz-smoke bench serve
 
 all: check
 
@@ -22,6 +22,19 @@ test-race:
 	$(GO) test -race ./...
 
 check: build vet test test-race
+
+# Cross-engine conformance harness (differential + metamorphic + analytic
+# oracles over the deterministic corpus). See TESTING.md.
+verify:
+	$(GO) run ./cmd/gca-verify -n 32 -seed 1
+
+# Mutate each fuzz target briefly on top of the checked-in seed corpora.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzParseEdges$$' -fuzztime=$(FUZZTIME) ./internal/graph
+	$(GO) test -run='^$$' -fuzz='^FuzzParseMatrix$$' -fuzztime=$(FUZZTIME) ./internal/graph
+	$(GO) test -run='^$$' -fuzz='^FuzzAssemble$$' -fuzztime=$(FUZZTIME) ./internal/gcasm
+	$(GO) test -run='^$$' -fuzz='^FuzzConformanceEdgeList$$' -fuzztime=$(FUZZTIME) .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

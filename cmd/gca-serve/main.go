@@ -9,8 +9,11 @@
 //
 //	POST /v1/components?format=edges|matrix&engine=gca&nocache=1&labels=0
 //	    Body is a graph in the "edges" or "matrix" text format of
-//	    internal/graph/io.go. Returns the labelling as JSON. A full queue
-//	    answers 429, an oversized graph 413, an expired deadline 504.
+//	    internal/graph/io.go. Returns the labelling as JSON. A malformed
+//	    body or unknown engine/format answers 400, a full queue 429, an
+//	    oversized body or graph 413, an expired deadline 504, and a client
+//	    that disconnects mid-request 499 (nginx's "client closed request";
+//	    only the access log sees it).
 //	GET  /v1/stats      JSON metrics snapshot (queue, cache, latencies).
 //	GET  /healthz       liveness probe.
 //	GET  /debug/vars    the same snapshot via expvar.
@@ -178,6 +181,13 @@ func componentsHandler(svc *service.Service, maxBody int64) http.HandlerFunc {
 	}
 }
 
+// statusClientClosedRequest is nginx's non-standard 499 "client closed
+// request": the client disconnected before the response was written. The
+// stdlib has no constant for it. Nobody receives the response body — the
+// code exists so access logs and metrics can tell an abandoned request
+// from a server fault (500) or a served timeout (504).
+const statusClientClosedRequest = 499
+
 // statusOf maps serving-layer errors onto HTTP status codes — the
 // admission contract of the ISSUE: full queue means 429, not queueing
 // forever.
@@ -191,6 +201,8 @@ func statusOf(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, service.ErrInvalidEngine), errors.Is(err, service.ErrNilGraph):
 		return http.StatusBadRequest
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	default:

@@ -1,0 +1,90 @@
+// Command gca-verify runs the cross-engine conformance harness
+// (internal/verify) over the deterministic graph corpus and prints a
+// machine-readable report.
+//
+//	gca-verify -n 64 -seed 1
+//	gca-verify -n 128 -engines gca,pram -no-service -format text
+//
+// Every engine (and, unless -no-service is given, the serving-layer path)
+// runs every corpus case; labellings are checked against the union-find
+// ground truth, metamorphic invariants (vertex relabelling, edge order,
+// intra-component edges, disjoint union) and the paper's analytic oracles
+// (closed-form generation count, Table-1 read/congestion totals, canonical
+// schedule). Exit status 0 means every check passed; 1 means at least one
+// conformance failure (the report lists each one); 2 means the harness
+// itself could not run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gcacc"
+	"gcacc/internal/verify"
+)
+
+func main() {
+	var (
+		n           = flag.Int("n", 64, "corpus size budget (vertices per instance)")
+		seed        = flag.Int64("seed", 1, "corpus and metamorphic seed")
+		enginesCSV  = flag.String("engines", "", "comma-separated engine subset (default: all of "+strings.Join(gcacc.EngineNames(), ",")+")")
+		noService   = flag.Bool("no-service", false, "skip the serving-layer path")
+		noMeta      = flag.Bool("no-metamorphic", false, "skip the metamorphic invariant checks")
+		noOracles   = flag.Bool("no-oracles", false, "skip the analytic Table-1/Table-2 oracle checks")
+		workers     = flag.Int("workers", 0, "simulator goroutines per run (0 = GOMAXPROCS)")
+		format      = flag.String("format", "json", "report format: json|text")
+		failuresCap = flag.Int("max-failures", 0, "truncate the failure list in the report (0 = keep all)")
+	)
+	flag.Parse()
+
+	opt := verify.Options{
+		N:           *n,
+		Seed:        *seed,
+		Service:     !*noService,
+		Metamorphic: !*noMeta,
+		Oracles:     !*noOracles,
+		Workers:     *workers,
+	}
+	if *enginesCSV != "" {
+		for _, name := range strings.Split(*enginesCSV, ",") {
+			e, err := gcacc.ParseEngine(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gca-verify:", err)
+				os.Exit(2)
+			}
+			opt.Engines = append(opt.Engines, e)
+		}
+	}
+
+	rep, err := verify.Run(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gca-verify:", err)
+		os.Exit(2)
+	}
+	if *failuresCap > 0 && len(rep.Failures) > *failuresCap {
+		rep.Failures = rep.Failures[:*failuresCap]
+	}
+
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "gca-verify: encoding report:", err)
+			os.Exit(2)
+		}
+	case "text":
+		fmt.Print(rep.Format())
+	default:
+		fmt.Fprintf(os.Stderr, "gca-verify: unknown format %q (json|text)\n", *format)
+		os.Exit(2)
+	}
+
+	if !rep.OK() {
+		fmt.Fprintf(os.Stderr, "gca-verify: %d conformance failure(s)\n", len(rep.Failures))
+		os.Exit(1)
+	}
+}

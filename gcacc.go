@@ -244,6 +244,16 @@ func ConnectedComponentsWithContext(ctx context.Context, g *Graph, opt Options) 
 // graph of size n: 1 + log n · (3·log n + 8).
 func TotalGenerations(n int) int { return core.TotalGenerations(n) }
 
+// ValidateLabels reports whether labels is exactly the super-node
+// labelling of g: endpoints of every edge share a label, every label class
+// is internally connected, and every label is the minimum vertex index of
+// its class. The checker is self-contained (its own flood fill, no engine
+// code), so callers can use it as an independent oracle for any engine's
+// output — the conformance harness (internal/verify, cmd/gca-verify) does.
+func ValidateLabels(g *Graph, labels []int) bool {
+	return graph.IsValidComponentLabelling(g, labels)
+}
+
 // Closure is a reflexive-transitive closure of an undirected graph —
 // the companion problem of Hirschberg's original paper, computed here on
 // the two-handed GCA (see internal/tc).

@@ -128,6 +128,33 @@ func TestParseEngine(t *testing.T) {
 	}
 }
 
+func TestEngineNamesMatchEngines(t *testing.T) {
+	names := EngineNames()
+	engines := Engines()
+	if len(names) != len(engines) {
+		t.Fatalf("EngineNames has %d entries, Engines has %d", len(names), len(engines))
+	}
+	for i, e := range engines {
+		if names[i] != e.String() {
+			t.Errorf("EngineNames[%d] = %q, want %q", i, names[i], e.String())
+		}
+		if got, err := ParseEngine(names[i]); err != nil || got != e {
+			t.Errorf("ParseEngine(EngineNames[%d]) = %v, %v; want %v", i, got, err, e)
+		}
+		if int(e) != i {
+			t.Errorf("Engines()[%d] = %d; the slice must be in declaration order", i, int(e))
+		}
+	}
+	// The boundary engine just past the last valid one must be invalid:
+	// Valid() and Engines() have to agree on where the zoo ends.
+	if Engine(len(engines)).Valid() {
+		t.Fatalf("Engine(%d) is past the end of Engines() but reports valid", len(engines))
+	}
+	if !Engine(len(engines) - 1).Valid() {
+		t.Fatalf("last engine in Engines() reports invalid")
+	}
+}
+
 func TestInvalidEngineRejected(t *testing.T) {
 	g := NewGraph(4)
 	g.AddEdge(0, 1)

@@ -14,7 +14,11 @@
 // the closed form of the paper's Section 3.
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"gcacc/internal/gca"
+)
 
 // Layout describes the paper's cell-field geometry for a graph with n
 // nodes: linear indices 0 … n²+n-1, row-major, with row(index) ∈ 0…n and
@@ -81,4 +85,35 @@ func GenerationsPerIteration(n int) int { return 8 + 3*SubGenerations(n) }
 // (the leading 1 is generation 0).
 func TotalGenerations(n int) int {
 	return 1 + Iterations(n)*GenerationsPerIteration(n)
+}
+
+// Schedule enumerates the control sequence of a full run for n nodes:
+// generation 0 once (iteration -1), then iterations passes over
+// generations 1–11 with ⌈log₂ n⌉ sub-generations for the reductions and
+// the shortcut. iterations ≤ 0 selects the paper's ⌈log₂ n⌉. Run executes
+// exactly this sequence, so the slice doubles as the sequencing oracle of
+// the conformance harness: len(Schedule(n, 0)) == TotalGenerations(n).
+func Schedule(n, iterations int) []gca.Context {
+	if n < 1 {
+		return nil
+	}
+	if iterations <= 0 {
+		iterations = Iterations(n)
+	}
+	subs := SubGenerations(n)
+	ctxs := make([]gca.Context, 0, 1+iterations*(8+3*subs))
+	ctxs = append(ctxs, gca.Context{Generation: GenInit, Iteration: -1})
+	for it := 0; it < iterations; it++ {
+		for gen := GenCopyC; gen <= GenFinalMin; gen++ {
+			nSubs := 1
+			switch gen {
+			case GenReduceT, GenReduceT2, GenShortcut:
+				nSubs = subs
+			}
+			for sub := 0; sub < nSubs; sub++ {
+				ctxs = append(ctxs, gca.Context{Generation: gen, Sub: sub, Iteration: it})
+			}
+		}
+	}
+	return ctxs
 }

@@ -103,7 +103,6 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	if iters <= 0 {
 		iters = Iterations(n)
 	}
-	subs := SubGenerations(n)
 
 	res := &Result{N: n, Iterations: iters}
 	step := func(ctx gca.Context) error {
@@ -134,24 +133,12 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		return nil
 	}
 
-	// Generation 0: initialisation (step 1 of the reference algorithm).
-	if err := step(gca.Context{Generation: GenInit, Iteration: -1}); err != nil {
-		return nil, err
-	}
-
-	for it := 0; it < iters; it++ {
-		for gen := GenCopyC; gen <= GenFinalMin; gen++ {
-			nSubs := 1
-			switch gen {
-			case GenReduceT, GenReduceT2, GenShortcut:
-				nSubs = subs
-			}
-			for sub := 0; sub < nSubs; sub++ {
-				ctx := gca.Context{Generation: gen, Sub: sub, Iteration: it}
-				if err := step(ctx); err != nil {
-					return nil, err
-				}
-			}
+	// Execute the canonical control sequence — generation 0 once, then
+	// iters passes over generations 1–11. Schedule is the single source of
+	// truth for the sequencing, shared with the conformance harness.
+	for _, ctx := range Schedule(n, iters) {
+		if err := step(ctx); err != nil {
+			return nil, err
 		}
 	}
 

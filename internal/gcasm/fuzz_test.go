@@ -1,0 +1,54 @@
+package gcasm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble throws mutated rule-language source at the assembler: the
+// lexer/parser/compiler pipeline must never panic, and every program it
+// accepts must satisfy the parse-time invariants the runtime relies on
+// (a non-empty schedule whose entries all reference declared generations).
+// The three embedded reference programs seed the corpus, alongside the
+// checked-in inputs under testdata/fuzz/FuzzAssemble/.
+func FuzzAssemble(f *testing.F) {
+	f.Add(HirschbergSource)
+	f.Add(NCellSource)
+	f.Add(ListRankSource)
+	f.Add("gen a:\n    d <- 1\nstart a\n")
+	f.Add("gen a times log:\n    p = index + pow2(sub)\n    d <- dstar\nrepeat log { a }\n")
+	f.Add("gen a times 3:\n    d <- if row == n then d else inf\nstart a\nrepeat 2 { a a }\n")
+	f.Add("start nowhere\n")
+	f.Add("gen x:\n    p = 1/0\n    d <- d\nstart x\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			// Errors must be diagnostics, not panics, and must name the
+			// package so CLI users can attribute them.
+			if !strings.HasPrefix(err.Error(), "gcasm:") {
+				t.Fatalf("error without gcasm prefix: %v", err)
+			}
+			return
+		}
+		if len(prog.schedule) == 0 {
+			t.Fatal("accepted program has an empty schedule")
+		}
+		names := map[string]bool{}
+		for _, name := range prog.Generations() {
+			names[name] = true
+		}
+		for _, item := range prog.schedule {
+			if len(item.gens) == 0 {
+				t.Fatal("schedule item with no generations")
+			}
+			for _, g := range item.gens {
+				if !names[g] {
+					t.Fatalf("schedule references undeclared generation %q", g)
+				}
+				if _, ok := prog.genIndex[g]; !ok {
+					t.Fatalf("generation %q missing from index", g)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package graph
+
+import "fmt"
+
+// Structure-preserving graph transformations. They are the substrate of the
+// metamorphic conformance checks (internal/verify): connected components
+// are equivariant under vertex relabelling and compose over disjoint union,
+// so every engine's output can be cross-checked against a transformed run
+// without a second oracle.
+
+// Permute returns the graph obtained by relabelling every vertex v of g to
+// perm[v]: the result has an edge {perm[u], perm[v]} for every edge {u, v}
+// of g. perm must be a permutation of 0..n-1; Permute panics otherwise.
+func Permute(g *Graph, perm []int) *Graph {
+	n := g.N()
+	if len(perm) != n {
+		panic(fmt.Sprintf("graph: permutation has %d entries for %d vertices", len(perm), n))
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			panic(fmt.Sprintf("graph: invalid permutation %v", perm))
+		}
+		seen[p] = true
+	}
+	h := New(n)
+	for _, e := range g.Edges() {
+		h.AddEdge(perm[e.U], perm[e.V])
+	}
+	return h
+}
+
+// DisjointUnion returns the disjoint union of a and b: a's vertices keep
+// their indices and b's vertices are shifted up by a.N(). The component
+// partition of the result is exactly the partitions of a and b side by
+// side — the composition law the conformance harness checks.
+func DisjointUnion(a, b *Graph) *Graph {
+	offset := a.N()
+	u := New(offset + b.N())
+	for _, e := range a.Edges() {
+		u.AddEdge(e.U, e.V)
+	}
+	for _, e := range b.Edges() {
+		u.AddEdge(offset+e.U, offset+e.V)
+	}
+	return u
+}

@@ -1,0 +1,119 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gcacc/internal/graph"
+)
+
+// Case is one corpus entry: a deterministic graph with its family name and,
+// where the family determines it analytically, the expected component
+// count.
+type Case struct {
+	// Family is the generator family ("path", "gnp-sparse", …).
+	Family string
+	// Name identifies the concrete instance, e.g. "path/n=64".
+	Name string
+	// Graph is the input.
+	Graph *graph.Graph
+	// WantComponents is the analytically known component count, or -1 when
+	// the family does not determine it (random families).
+	WantComponents int
+}
+
+// Corpus builds the deterministic conformance corpus for a size budget n
+// (clamped to ≥ 4) and seed. Every family is represented by one instance
+// with at most n vertices; random families draw from a rand.Rand seeded
+// with seed, so the corpus is reproducible from (n, seed) alone.
+//
+// The families deliberately cover the regimes the paper distinguishes:
+// dense inputs where Hirschberg's algorithm is work-optimal (complete,
+// gnp-dense, bipartite), sparse and tree-shaped inputs that maximise merge
+// iterations (path, binary-tree, caterpillar, forest), many-component
+// inputs (empty, matching, cliques, planted), and the adversarial
+// congestion patterns of the paper's Section 4 — the star (generation-10
+// pointer chasing collapses onto one cell, δ ≈ n) and the broom, which
+// combines the star's congestion with a path's iteration depth.
+func Corpus(n int, seed int64) []Case {
+	if n < 4 {
+		n = 4
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cases := []Case{
+		{Family: "empty", Graph: graph.Empty(n), WantComponents: n},
+		{Family: "singleton", Graph: graph.New(1), WantComponents: 1},
+		{Family: "path", Graph: graph.Path(n), WantComponents: 1},
+		{Family: "cycle", Graph: graph.Cycle(n), WantComponents: 1},
+		{Family: "star", Graph: graph.Star(n), WantComponents: 1},
+		{Family: "complete", Graph: graph.Complete(n), WantComponents: 1},
+		gridCase(n),
+		{Family: "bipartite", Graph: graph.CompleteBipartite(n/2, n-n/2), WantComponents: 1},
+		caterpillarCase(n),
+		{Family: "binary-tree", Graph: graph.BinaryTree(n), WantComponents: 1},
+		{Family: "matching", Graph: graph.MatchingChain(n), WantComponents: (n + 1) / 2},
+		{Family: "cliques", Graph: graph.DisjointCliques(4, max(1, n/4)), WantComponents: 4},
+		{Family: "hypercube", Graph: graph.Hypercube(log2Floor(n)), WantComponents: 1},
+		{Family: "broom", Graph: broom(n), WantComponents: 1},
+		{Family: "gnp-sparse", Graph: graph.Gnp(n, 1.5/float64(n), rng), WantComponents: -1},
+		{Family: "gnp-dense", Graph: graph.Gnp(n, 0.5, rng), WantComponents: -1},
+		{Family: "planted", Graph: graph.PlantedComponents(n, 3, 0.2, rng), WantComponents: 3},
+		{Family: "forest", Graph: graph.RandomSpanningForest(n, 4, rng), WantComponents: 4},
+	}
+	for i := range cases {
+		cases[i].Name = fmt.Sprintf("%s/n=%d", cases[i].Family, cases[i].Graph.N())
+	}
+	return cases
+}
+
+// Families returns the distinct family names of a corpus, in order.
+func Families(cases []Case) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range cases {
+		if !seen[c.Family] {
+			seen[c.Family] = true
+			out = append(out, c.Family)
+		}
+	}
+	return out
+}
+
+func gridCase(n int) Case {
+	rows := 2
+	for (rows+1)*(rows+1) <= n {
+		rows++
+	}
+	return Case{Family: "grid", Graph: graph.Grid(rows, rows), WantComponents: 1}
+}
+
+func caterpillarCase(n int) Case {
+	spine := max(1, n/4)
+	return Case{Family: "caterpillar", Graph: graph.Caterpillar(spine, 3), WantComponents: 1}
+}
+
+// broom is a star on the first half of the vertices with a path hanging
+// off the centre: worst-case generation-10 congestion (every leaf's
+// component pointer chases through vertex 0) combined with a long chain
+// that needs the full ⌈log₂ n⌉ merge iterations.
+func broom(n int) *graph.Graph {
+	g := graph.New(n)
+	half := n / 2
+	for i := 1; i < half; i++ {
+		g.AddEdge(0, i)
+	}
+	prev := 0
+	for i := half; i < n; i++ {
+		g.AddEdge(prev, i)
+		prev = i
+	}
+	return g
+}
+
+func log2Floor(n int) int {
+	d := 0
+	for 1<<uint(d+1) <= n {
+		d++
+	}
+	return d
+}

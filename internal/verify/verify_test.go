@@ -1,0 +1,111 @@
+package verify
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gcacc"
+	"gcacc/internal/graph"
+)
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := Corpus(16, 7)
+	b := Corpus(16, 7)
+	if len(a) != len(b) {
+		t.Fatalf("corpus sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || !a[i].Graph.Equal(b[i].Graph) {
+			t.Fatalf("case %d not deterministic: %s vs %s", i, a[i].Name, b[i].Name)
+		}
+	}
+	c := Corpus(16, 8)
+	same := true
+	for i := range a {
+		if !a[i].Graph.Equal(c[i].Graph) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical corpus")
+	}
+}
+
+func TestCorpusCoverage(t *testing.T) {
+	cases := Corpus(16, 1)
+	fams := Families(cases)
+	if len(fams) < 6 {
+		t.Fatalf("corpus has %d families, the conformance contract needs ≥ 6", len(fams))
+	}
+	for _, c := range cases {
+		if c.Graph.N() == 0 {
+			t.Fatalf("case %s has no vertices", c.Name)
+		}
+		if c.Graph.N() > 16 {
+			t.Fatalf("case %s exceeds the size budget: n=%d", c.Name, c.Graph.N())
+		}
+		if c.WantComponents >= 0 {
+			got := graph.ComponentCount(graph.ConnectedComponentsUnionFind(c.Graph))
+			if got != c.WantComponents {
+				t.Fatalf("case %s: %d components, family expects %d", c.Name, got, c.WantComponents)
+			}
+		}
+	}
+}
+
+func TestCorpusTinyBudget(t *testing.T) {
+	// The clamp keeps every family constructible at degenerate budgets.
+	for _, n := range []int{0, 1, 4, 5, 7} {
+		for _, c := range Corpus(n, 3) {
+			if c.Graph == nil {
+				t.Fatalf("n=%d: case %s has nil graph", n, c.Name)
+			}
+		}
+	}
+}
+
+func TestRunRejectsInvalidEngine(t *testing.T) {
+	if _, err := Run(Options{N: 8, Engines: []gcacc.Engine{gcacc.Engine(42)}}); err == nil {
+		t.Fatal("Run accepted an out-of-range engine")
+	}
+}
+
+func TestCheckGraphDetectsBrokenTruth(t *testing.T) {
+	// CheckGraph on a healthy graph passes for every engine.
+	g := graph.Path(9)
+	if err := CheckGraph(g, gcacc.Engines()); err != nil {
+		t.Fatalf("CheckGraph on a path: %v", err)
+	}
+}
+
+func TestReportFormatAndJSON(t *testing.T) {
+	rep := &Report{
+		N: 8, Seed: 1, Families: []string{"path"}, Cases: 1, Checks: 3,
+		Engines: []EngineSummary{{Engine: "gca", Path: "direct", Cases: 1, Checks: 3}},
+	}
+	out := rep.Format()
+	if !strings.Contains(out, "PASS") || !strings.Contains(out, "gca") {
+		t.Fatalf("pass report missing content:\n%s", out)
+	}
+	rep.Failures = append(rep.Failures, Failure{Case: "path/n=8", Engine: "gca/direct",
+		Check: "differential", Detail: "vertex 3 labelled 1, want 0"})
+	out = rep.Format()
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "vertex 3") {
+		t.Fatalf("fail report missing content:\n%s", out)
+	}
+	if rep.OK() {
+		t.Fatal("report with failures claims OK")
+	}
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N != 8 || len(back.Failures) != 1 || back.Failures[0].Check != "differential" {
+		t.Fatalf("JSON round trip lost data: %+v", back)
+	}
+}

@@ -1,0 +1,122 @@
+package gcacc_test
+
+import (
+	"testing"
+
+	"gcacc"
+	"gcacc/internal/graph"
+	"gcacc/internal/verify"
+)
+
+// The conformance entry points: `go test -run Conformance` runs every
+// engine (and the serving-layer path) over the shared corpus with the
+// differential, metamorphic and analytic-oracle checks of internal/verify.
+// TESTING.md documents the harness; cmd/gca-verify is the CLI counterpart.
+
+// TestConformanceCorpus is the main gate: all five engines plus the
+// service path over every corpus family at a small size budget.
+func TestConformanceCorpus(t *testing.T) {
+	rep, err := verify.Run(verify.Options{
+		N: 16, Seed: 1, Service: true, Metamorphic: true, Oracles: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Families) < 6 {
+		t.Fatalf("corpus covers %d families, the conformance contract needs ≥ 6", len(rep.Families))
+	}
+	wantEngines := len(gcacc.Engines())
+	direct := 0
+	for _, e := range rep.Engines {
+		if e.Path == "direct" {
+			direct++
+		}
+		if e.Cases != rep.Cases {
+			t.Errorf("engine %s/%s ran %d of %d cases", e.Engine, e.Path, e.Cases, rep.Cases)
+		}
+	}
+	if direct != wantEngines {
+		t.Fatalf("harness exercised %d engines, want %d", direct, wantEngines)
+	}
+	if !rep.OK() {
+		t.Fatalf("conformance failures:\n%s", rep.Format())
+	}
+}
+
+// TestConformancePowerOfTwo pins the paper's closed form at a power-of-two
+// size, where 1 + log n · (3·log n + 8) is exact: n = 32 gives log n = 5
+// and 116 generations.
+func TestConformancePowerOfTwo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if want := 1 + 5*(3*5+8); gcacc.TotalGenerations(32) != want {
+		t.Fatalf("TotalGenerations(32) = %d, want %d", gcacc.TotalGenerations(32), want)
+	}
+	rep, err := verify.Run(verify.Options{
+		N: 32, Seed: 2, Service: false, Metamorphic: false, Oracles: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("conformance failures at n=32:\n%s", rep.Format())
+	}
+}
+
+// TestConformanceSeeds runs the differential and metamorphic checks under
+// a couple of extra corpus seeds so the random families (gnp, planted,
+// forest) vary.
+func TestConformanceSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, seed := range []int64{3, 4} {
+		rep, err := verify.Run(verify.Options{
+			N: 12, Seed: seed, Service: false, Metamorphic: true, Oracles: false,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			t.Fatalf("seed %d failures:\n%s", seed, rep.Format())
+		}
+	}
+}
+
+// graphFromFuzzBytes decodes a fuzzer-controlled byte string into a graph:
+// the first byte picks n ∈ 1…32, subsequent byte pairs are edges modulo n.
+// Every byte string decodes to some valid graph, so the fuzzer explores
+// graph space rather than parser error paths.
+func graphFromFuzzBytes(data []byte) *graph.Graph {
+	if len(data) == 0 {
+		return graph.New(1)
+	}
+	n := 1 + int(data[0])%32
+	g := graph.New(n)
+	for i := 1; i+1 < len(data); i += 2 {
+		u, v := int(data[i])%n, int(data[i+1])%n
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// FuzzConformanceEdgeList feeds fuzzer-mutated edge lists through the full
+// differential check: every engine must agree with union-find, and the GCA
+// engine must hit the closed-form generation count, for every input the
+// fuzzer can construct.
+func FuzzConformanceEdgeList(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})                          // n=1
+	f.Add([]byte{7, 0, 1, 1, 2, 4, 5})        // small path + pair
+	f.Add([]byte{15, 0, 1, 0, 2, 0, 3, 0, 4}) // star
+	f.Add([]byte{31, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := graphFromFuzzBytes(data)
+		if err := verify.CheckGraph(g, gcacc.Engines()); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
