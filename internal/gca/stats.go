@@ -51,11 +51,15 @@ func (s *StepStats) CongestionHistogram() map[int]int {
 // descending δ, which is how Table 1 lists them.
 func (s *StepStats) CongestionLevels() []CongestionLevel {
 	h := s.CongestionHistogram()
-	levels := make([]CongestionLevel, 0, len(h))
-	for d, c := range h {
-		levels = append(levels, CongestionLevel{Delta: d, Cells: c})
+	deltas := make([]int, 0, len(h))
+	for d := range h {
+		deltas = append(deltas, d)
 	}
-	sort.Slice(levels, func(i, j int) bool { return levels[i].Delta > levels[j].Delta })
+	sort.Ints(deltas)
+	levels := make([]CongestionLevel, 0, len(deltas))
+	for i := len(deltas) - 1; i >= 0; i-- {
+		levels = append(levels, CongestionLevel{Delta: deltas[i], Cells: h[deltas[i]]})
+	}
 	return levels
 }
 
