@@ -1,6 +1,8 @@
 package gcasm
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -183,6 +185,24 @@ func TestCountScan(t *testing.T) {
 	}
 	if res.Generations != 4 { // n - 1
 		t.Fatalf("scan count = %d, want 4", res.Generations)
+	}
+}
+
+func TestParseOverflowingLiteral(t *testing.T) {
+	if _, err := Parse("gen g:\n  d <- 99999999999999999999\nstart g\n"); err == nil {
+		t.Fatal("20-digit literal should not parse")
+	}
+}
+
+func TestRunCanceledContext(t *testing.T) {
+	prog, err := Parse("gen g times scan:\n  d <- d + 1\nstart g\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := prog.Run(RunConfig{Ctx: ctx, N: 8, Field: gca.NewField(8)}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run with canceled ctx = %v, want context.Canceled", err)
 	}
 }
 

@@ -1,6 +1,9 @@
 package gcasm
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // Grammar (newline-terminated statements, '#' comments):
 //
@@ -145,8 +148,10 @@ func (p *parser) parseCount() (countSpec, error) {
 		return countSpec{kind: countScan}, nil
 	case t.kind == tokInt:
 		p.pos++
-		v := 0
-		fmt.Sscanf(t.text, "%d", &v)
+		v, err := strconv.Atoi(t.text)
+		if err != nil {
+			return countSpec{}, fmt.Errorf("gcasm: line %d: bad count %q: %v", t.line, t.text, err)
+		}
 		if v < 1 {
 			return countSpec{}, fmt.Errorf("gcasm: line %d: count must be ≥ 1", t.line)
 		}
@@ -473,8 +478,10 @@ func (p *parser) parsePrimary() (compiledExpr, error) {
 	switch {
 	case t.kind == tokInt:
 		p.pos++
-		var v int64
-		fmt.Sscanf(t.text, "%d", &v)
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("gcasm: line %d: bad integer literal %q: %v", t.line, t.text, err)
+		}
 		return func(*env, *error) int64 { return v }, nil
 	case t.kind == tokIdent && t.text == "if":
 		return p.parseIf()

@@ -1,6 +1,7 @@
 package gcasm
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -118,6 +119,10 @@ func (r *progRule) Update(ctx gca.Context, idx int, self, global gca.Cell) gca.V
 
 // RunConfig configures Program.Run.
 type RunConfig struct {
+	// Ctx, if non-nil, cancels the run between synchronous steps; a
+	// program whose schedule resolves to many generations can be
+	// abandoned without waiting for it to finish.
+	Ctx context.Context
 	// N is the problem size (resolves 'n', 'log' and 'scan', and the
 	// row/col arithmetic: row = index / n, col = index mod n).
 	N int
@@ -177,6 +182,11 @@ func (p *Program) Run(cfg RunConfig) (*RunResult, error) {
 				gi := p.genIndex[name]
 				times := p.gens[gi].times.resolve(cfg.N)
 				for sub := 0; sub < times; sub++ {
+					if cfg.Ctx != nil {
+						if err := cfg.Ctx.Err(); err != nil {
+							return nil, err
+						}
+					}
 					ctx := gca.Context{Generation: gi, Sub: sub, Iteration: rep}
 					s, err := machine.Step(ctx)
 					if err != nil {
