@@ -139,6 +139,11 @@ func Boruvka(g *graph.Weighted, opt Options) (*BoruvkaResult, error) {
 		if round > maxRounds {
 			return nil, fmt.Errorf("pram: boruvka did not converge within %d rounds", maxRounds)
 		}
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// Phase 1: per-vertex best outgoing edge.
 		if err := m.Step(n*n, func(p *Proc) {
 			i, j := p.ID/n, p.ID%n

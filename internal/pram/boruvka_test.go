@@ -1,6 +1,8 @@
 package pram
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -183,5 +185,17 @@ func TestRandomWeightedDistinct(t *testing.T) {
 			t.Fatalf("duplicate weight %d", e.W)
 		}
 		seen[e.W] = true
+	}
+}
+
+func TestBoruvkaCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := graph.NewWeighted(8)
+	for i := 0; i < 7; i++ {
+		g.AddEdge(i, i+1, int64(i+1))
+	}
+	if _, err := Boruvka(g, Options{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Boruvka with canceled ctx = %v, want context.Canceled", err)
 	}
 }

@@ -47,6 +47,10 @@ func reduce(m *Machine, base, n int, opName string, op func(a, b Value) Value) e
 
 // PrefixSum replaces region [base, base+n) with its inclusive prefix sums
 // using the Hillis–Steele doubling scan: O(log n) steps, n processors.
+// It runs a bounded ⌈log n⌉ steps and is always invoked between the
+// context checks of a larger algorithm, so it takes no context itself.
+//
+//lint:ignore ctxflow bounded O(log n) primitive; callers check their context around it
 func PrefixSum(m *Machine, base, n int) error {
 	if n < 0 || base < 0 || base+n > m.MemSize() {
 		return fmt.Errorf("pram: prefix-sum region [%d,%d) out of memory", base, base+n)

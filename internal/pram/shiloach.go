@@ -1,6 +1,7 @@
 package pram
 
 import (
+	"context"
 	"fmt"
 
 	"gcacc/internal/graph"
@@ -49,6 +50,10 @@ type ShiloachVishkinResult struct {
 
 // ShiloachVishkinOptions configures a run.
 type ShiloachVishkinOptions struct {
+	// Ctx, if non-nil, is checked at the top of every hook/shortcut
+	// iteration; a cancelled or expired context aborts the run with the
+	// context's error.
+	Ctx context.Context
 	// PhysicalProcessors enables Brent time accounting.
 	PhysicalProcessors int
 	// SimWorkers sets simulator goroutines.
@@ -117,6 +122,11 @@ func ShiloachVishkin(g *graph.Graph, opt ShiloachVishkinOptions) (*ShiloachVishk
 	maxIters := 4*log2Ceil(n) + 8
 	iters := 0
 	for {
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		before := snapshotD()
 
 		// Step 1: conditional star hooking (strictly smaller labels).

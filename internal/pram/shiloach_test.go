@@ -1,6 +1,8 @@
 package pram
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -178,5 +180,14 @@ func TestCRCWModes(t *testing.T) {
 	}
 	if CRCWCommon.String() != "CRCW-Common" || CRCWPriority.String() != "CRCW-Priority" {
 		t.Fatal("mode names wrong")
+	}
+}
+
+func TestShiloachVishkinCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := graph.Path(16)
+	if _, err := ShiloachVishkin(g, ShiloachVishkinOptions{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ShiloachVishkin with canceled ctx = %v, want context.Canceled", err)
 	}
 }
