@@ -136,7 +136,7 @@ func readGraph(path, format string) (*graph.Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only input
 	if format == "matrix" {
 		return graph.ReadMatrix(f)
 	}

@@ -30,8 +30,8 @@ func main() {
 		format = flag.String("format", "edges", "input format: edges|matrix")
 		engine = flag.String("engine", "gca",
 			"engine: "+strings.Join(gcacc.EngineNames(), "|")+"|bfs|dfs|unionfind")
-		stats  = flag.Bool("stats", false, "print per-generation statistics (gca engine)")
-		quiet  = flag.Bool("quiet", false, "suppress per-vertex output")
+		stats = flag.Bool("stats", false, "print per-generation statistics (gca engine)")
+		quiet = flag.Bool("quiet", false, "suppress per-vertex output")
 	)
 	flag.Parse()
 
@@ -71,7 +71,7 @@ func readGraph(path, format string) (*graph.Graph, error) {
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }() // read-only input
 		r = f
 	}
 	switch format {

@@ -86,8 +86,8 @@ func main() {
 	if resp, err := client.Get(strings.TrimSuffix(*addr, "/") + "/healthz"); err != nil {
 		fatal(fmt.Errorf("server not reachable: %w", err))
 	} else {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
 	}
 
 	type workerStats struct {
@@ -125,8 +125,8 @@ func main() {
 					st.failed++
 					continue
 				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
 				switch resp.StatusCode {
 				case http.StatusOK:
 					st.ok++
@@ -169,7 +169,7 @@ func main() {
 
 	// Server-side view: cache effectiveness and queue behaviour.
 	if resp, err := client.Get(strings.TrimSuffix(*addr, "/") + "/v1/stats"); err == nil {
-		defer resp.Body.Close()
+		defer func() { _ = resp.Body.Close() }()
 		var st service.Stats
 		if json.NewDecoder(resp.Body).Decode(&st) == nil {
 			fmt.Printf("server: completed=%d cache_hits=%d cache_misses=%d coalesced=%d rejected429=%d generations=%d\n",

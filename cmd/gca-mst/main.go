@@ -96,7 +96,7 @@ func readWeighted(path string) (*graph.Weighted, error) {
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }() // read-only input
 		r = f
 	}
 	return graph.ReadWeightedEdgeList(r)
