@@ -1,0 +1,92 @@
+// Command gca-lint runs the repository's static-analysis suite
+// (internal/lint) over every package of the module: the GCA/PRAM model
+// invariants (double-buffer discipline, rule purity), determinism and
+// context-plumbing requirements of the simulator packages, the serving
+// layer's mutex convention, and discarded-error hygiene.
+//
+// Usage:
+//
+//	gca-lint [-dir .] [-analyzers a,b] [-json] [-list]
+//
+// Exit status: 0 when clean, 1 when any diagnostic was reported, 2 on
+// load or typecheck failure. Individual findings can be suppressed with
+// a `//lint:ignore <analyzer> <reason>` comment on or directly above the
+// flagged line; each directive suppresses at most one diagnostic.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"gcacc/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	dir := flag.String("dir", ".", "module root to lint (must contain go.mod)")
+	analyzersFlag := flag.String("analyzers", "", "comma-separated analyzer names (default: all)")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := lint.Select(*analyzersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	loader, err := lint.NewLoader(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	paths, err := loader.ModulePackages()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	var diags []lint.Diagnostic
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		diags = append(diags, lint.RunAnalyzers(pkg, analyzers)...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "gca-lint: %d finding(s) in %d package(s)\n", len(diags), len(paths))
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

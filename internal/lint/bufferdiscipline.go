@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BufferDiscipline enforces the double-buffer contract behind the GCA's
+// synchronous semantics (DESIGN.md: generation g is a pure function of
+// generation g−1):
+//
+//   - inside package gca, cell-stepping code must never write the
+//     current-state buffer (Field.cur) or read elements of the next-state
+//     buffer (Field.next); only the field's own initialisation API
+//     (NewField, SetCell, SetData) and the commit point (swap) may touch
+//     cur, and only swap may move next.
+//   - in every simulator package, methods implementing the Rule contract
+//     (Pointer, Update, Pointer2, Update2) must be pure over their
+//     arguments: they must not reference a gca.Field at all, because any
+//     field access from inside a rule bypasses the machine's
+//     read-current/write-next discipline.
+var BufferDiscipline = &Analyzer{
+	Name: "bufferdiscipline",
+	Doc: "cell rules must read generation g−1 and write generation g only: no writes " +
+		"through Field.cur, no element reads of Field.next, no Field access from Rule methods",
+	Run: runBufferDiscipline,
+}
+
+// curWriteAllowed are the gca functions allowed to mutate the current
+// buffer: construction, generation-0 initialisation, and the commit.
+var curWriteAllowed = map[string]bool{
+	"NewField": true,
+	"SetCell":  true,
+	"SetData":  true,
+	"swap":     true,
+}
+
+var ruleMethodNames = map[string]bool{
+	"Pointer":  true,
+	"Update":   true,
+	"Pointer2": true,
+	"Update2":  true,
+}
+
+func runBufferDiscipline(pass *Pass) {
+	if !simulatorPackages[pass.Pkg.Name] {
+		return
+	}
+	if pass.Pkg.Name == "gca" {
+		checkFieldBuffers(pass)
+	}
+	checkRulePurity(pass)
+}
+
+// checkFieldBuffers audits every direct cur/next access inside package
+// gca itself (the only package that can name the unexported buffers).
+func checkFieldBuffers(pass *Pass) {
+	info := pass.Pkg.Info
+	curVar, nextVar := fieldBufferVars(pass.Pkg)
+	if curVar == nil || nextVar == nil {
+		return
+	}
+
+	for _, fd := range funcDecls(pass.Pkg) {
+		name := fd.Name.Name
+
+		// One-level alias tracking: `cur := m.field.cur` binds a local
+		// whose element accesses carry the buffer's discipline.
+		aliases := map[types.Object]*types.Var{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				v := bufferOf(info, aliases, rhs, curVar, nextVar)
+				if v == nil {
+					continue
+				}
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					if obj := info.Defs[id]; obj != nil {
+						aliases[obj] = v
+					}
+				}
+			}
+			return true
+		})
+
+		// Write targets: LHS roots of assignments and ++/--.
+		writeTargets := map[ast.Expr]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					writeTargets[ast.Unparen(lhs)] = true
+				}
+			case *ast.IncDecStmt:
+				writeTargets[ast.Unparen(n.X)] = true
+			}
+			return true
+		})
+
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					lhs = ast.Unparen(lhs)
+					base := lhs
+					if ix, ok := lhs.(*ast.IndexExpr); ok {
+						base = ix.X
+					}
+					if bufferOf(info, aliases, base, curVar, nextVar) == curVar && !curWriteAllowed[name] {
+						pass.Reportf(lhs.Pos(), "cur-write",
+							"%s writes the current-state buffer via %s; step code must write only the next buffer (Field.%s API or swap)",
+							name, exprString(lhs), "SetCell/SetData")
+					}
+				}
+			case *ast.IndexExpr:
+				if writeTargets[n] {
+					return true
+				}
+				if bufferOf(info, aliases, n.X, curVar, nextVar) == nextVar {
+					pass.Reportf(n.Pos(), "next-read",
+						"%s reads an element of the next-state buffer via %s; generation g must read exclusively from generation g−1 (Field.cur)",
+						name, exprString(n))
+				}
+			case *ast.RangeStmt:
+				if bufferOf(info, aliases, n.X, curVar, nextVar) == nextVar {
+					pass.Reportf(n.X.Pos(), "next-read",
+						"%s ranges over the next-state buffer %s; generation g must read exclusively from generation g−1 (Field.cur)",
+						name, exprString(n.X))
+				}
+			case *ast.CallExpr:
+				if isBuiltin(info, n, "len") || isBuiltin(info, n, "cap") {
+					return true
+				}
+				for _, arg := range n.Args {
+					if bufferOf(info, aliases, arg, curVar, nextVar) == nextVar {
+						pass.Reportf(arg.Pos(), "next-read",
+							"%s passes the next-state buffer %s to %s, exposing uncommitted generation-g state",
+							name, exprString(arg), exprString(n.Fun))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// bufferOf resolves expr to the cur or next buffer variable it denotes —
+// either a direct selector on a Field or a tracked local alias — or nil.
+func bufferOf(info *types.Info, aliases map[types.Object]*types.Var, expr ast.Expr, curVar, nextVar *types.Var) *types.Var {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		switch info.Uses[e.Sel] {
+		case curVar:
+			return curVar
+		case nextVar:
+			return nextVar
+		}
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return aliases[obj]
+		}
+	}
+	return nil
+}
+
+// fieldBufferVars looks up the cur and next buffer fields of gca.Field.
+func fieldBufferVars(pkg *Package) (cur, next *types.Var) {
+	obj := pkg.Types.Scope().Lookup("Field")
+	if obj == nil {
+		return nil, nil
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		switch f := st.Field(i); f.Name() {
+		case "cur":
+			cur = f
+		case "next":
+			next = f
+		}
+	}
+	return cur, next
+}
+
+// checkRulePurity flags any reference to a gca.Field from a method
+// implementing the Rule contract.
+func checkRulePurity(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, fd := range funcDecls(pass.Pkg) {
+		if fd.Recv == nil || !ruleMethodNames[fd.Name.Name] {
+			continue
+		}
+		recv := receiverNamed(info, fd)
+		if recv == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if _, isVar := obj.(*types.Var); !isVar {
+				return true
+			}
+			if isNamedType(obj.Type(), "gca", "Field") {
+				pass.Reportf(id.Pos(), "rule-purity",
+					"rule method %s.%s references the Field %q; rules must be pure functions of their arguments — field access bypasses the read-cur/write-next discipline",
+					recv.Obj().Name(), fd.Name.Name, id.Name)
+			}
+			return true
+		})
+	}
+}

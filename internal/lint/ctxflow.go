@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CtxFlow enforces the context plumbing the serving layer depends on:
+// every exported function in a simulator package that drives a
+// generation/step loop must be cancellable, because internal/service
+// threads per-request deadlines down to the engines and an un-plumbed
+// loop would keep a worker goroutine busy long after its request died.
+//
+// A "step loop" is any for/range statement whose body calls something
+// named Step, step, clock or Clock — the synchronous-advance vocabulary
+// shared by gca.Machine, pram.Machine, hw.CellArray and the step
+// closures built on them. A flagged function must
+//
+//  1. accept a context.Context, either directly or as a field of an
+//     options struct parameter (the core.Options / pram.Options idiom),
+//     and
+//  2. call Err or Done on a context somewhere in its body (including
+//     inside function literals, which is where core.Run and
+//     pram.Hirschberg do their per-step checks).
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "exported simulator entry points running generation/step loops must accept a " +
+		"context.Context (directly or via an options struct) and check cancellation",
+	Run: runCtxFlow,
+}
+
+// stepCallNames is the synchronous-advance vocabulary: a loop calling
+// one of these is advancing a simulated machine.
+var stepCallNames = map[string]bool{
+	"Step": true, "step": true, "clock": true, "Clock": true,
+}
+
+func runCtxFlow(pass *Pass) {
+	if !simulatorPackages[pass.Pkg.Name] {
+		return
+	}
+	for _, fd := range funcDecls(pass.Pkg) {
+		if !fd.Name.IsExported() {
+			continue
+		}
+		loopPos := findStepLoop(fd.Body)
+		if !loopPos.IsValid() {
+			continue
+		}
+		if !acceptsContext(pass, fd) {
+			pass.Reportf(fd.Name.Pos(), "no-context",
+				"exported %s drives a generation/step loop (at %s) but accepts no context.Context, directly or via an options struct; the serving layer cannot cancel it",
+				fd.Name.Name, pass.Pkg.Fset.Position(loopPos))
+			continue
+		}
+		if !checksCancellation(pass, fd) {
+			pass.Reportf(fd.Name.Pos(), "no-check",
+				"exported %s accepts a context but never calls Err or Done on one; its step loop (at %s) runs to completion even after cancellation",
+				fd.Name.Name, pass.Pkg.Fset.Position(loopPos))
+		}
+	}
+}
+
+// findStepLoop returns the position of the first for/range loop whose
+// body contains a step-vocabulary call, or token.NoPos.
+func findStepLoop(body *ast.BlockStmt) (pos token.Pos) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		var loopBody *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			loopBody = n.Body
+		case *ast.RangeStmt:
+			loopBody = n.Body
+		default:
+			return true
+		}
+		ast.Inspect(loopBody, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := ""
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				name = fun.Name
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			}
+			if stepCallNames[name] {
+				pos = call.Pos()
+				return false
+			}
+			return true
+		})
+		return !pos.IsValid()
+	})
+	return pos
+}
+
+// acceptsContext reports whether fd has a context.Context parameter or a
+// parameter whose struct type carries a context.Context field.
+func acceptsContext(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		t := pass.Pkg.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if isContextType(t) || hasContextField(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// checksCancellation reports whether fd's body (including nested
+// function literals) calls Err or Done on a context-typed value.
+func checksCancellation(pass *Pass, fd *ast.FuncDecl) bool {
+	info := pass.Pkg.Info
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Err" && sel.Sel.Name != "Done") {
+			return true
+		}
+		if t := info.TypeOf(sel.X); t != nil && isContextType(t) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

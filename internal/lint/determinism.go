@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism forbids the three nondeterminism sources that would break
+// bit-identical replay inside the simulator packages (gca, core, pram,
+// ncell, hw, gcasm). The conformance fuzzer (internal/verify) and the
+// content-addressed result cache (internal/service) both assume that a
+// given graph and engine always produce the same labels via the same
+// intermediate states:
+//
+//   - time.Now — wall-clock dependence;
+//   - the package-level math/rand functions — they draw from the shared,
+//     unseeded global source (rand.New(rand.NewSource(seed)) with an
+//     explicit seed is fine);
+//   - ranging over a map while feeding an order-sensitive sink (append,
+//     a slice store, or a writer/emit call) — map iteration order is
+//     deliberately randomised by the runtime.
+//
+// An append inside a map range is accepted when the target slice is
+// later passed to a provably total-order sort (sort.Ints, sort.Strings,
+// sort.Float64s or slices.Sort) in the same function — the canonical
+// collect-keys-sort-iterate idiom. sort.Slice and sort.SliceStable do
+// NOT qualify: an arbitrary less function can induce ties, and an
+// unstable sort lets the map's random order leak through them.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "simulator packages must be bit-identically replayable: no time.Now, no global " +
+		"math/rand source, no map iteration feeding order-sensitive sinks",
+	Run: runDeterminism,
+}
+
+// randConstructors are the math/rand functions that build an explicitly
+// seeded generator rather than drawing from the global source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// orderSinkNames are call names treated as order-sensitive when invoked
+// from inside a map-range body.
+var orderSinkNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Emit": true,
+}
+
+func runDeterminism(pass *Pass) {
+	if !simulatorPackages[pass.Pkg.Name] {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkNondeterministicCall(pass, call)
+			}
+			return true
+		})
+	}
+	for _, fd := range funcDecls(pass.Pkg) {
+		if fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := info.TypeOf(rng.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					checkMapRangeBody(pass, rng, fd.Body)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkNondeterministicCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	switch {
+	case path == "time" && fn.Name() == "Now":
+		pass.Reportf(call.Pos(), "wall-clock",
+			"time.Now in a simulator package breaks bit-identical replay; derive timing from generation counts or pass timestamps in from the caller")
+	case (path == "math/rand" || path == "math/rand/v2") &&
+		fn.Type().(*types.Signature).Recv() == nil && !randConstructors[fn.Name()]:
+		pass.Reportf(call.Pos(), "global-rand",
+			"%s.%s draws from the process-global random source; use rand.New(rand.NewSource(seed)) with an explicit seed so runs replay bit-identically",
+			path, fn.Name())
+	}
+}
+
+// checkMapRangeBody flags order-sensitive sinks inside the body of a
+// range over a map. Order-insensitive folds (counters, sums, min/max,
+// map writes) are fine and not reported, and an append whose target is
+// later passed to a total-order sort in the same function (the
+// collect-sort-iterate idiom) is accepted.
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, enclosing *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(info, n, "append") {
+				if !launderedBySort(info, enclosing, appendTarget(info, n)) {
+					pass.Reportf(n.Pos(), "map-order",
+						"append inside a range over a map produces a nondeterministically ordered slice; sort the result with a total order (sort.Ints/sort.Strings/slices.Sort) or collect the keys, sort them, then iterate")
+				}
+				return true
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && orderSinkNames[sel.Sel.Name] {
+				pass.Reportf(n.Pos(), "map-order",
+					"%s inside a range over a map emits output in nondeterministic order; collect the keys, sort them, then iterate",
+					exprString(n.Fun))
+			} else if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && orderSinkNames[id.Name] {
+				pass.Reportf(n.Pos(), "map-order",
+					"%s inside a range over a map emits output in nondeterministic order; collect the keys, sort them, then iterate",
+					id.Name)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				t := info.TypeOf(ix.X)
+				if t == nil {
+					continue
+				}
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Array:
+					pass.Reportf(lhs.Pos(), "map-order",
+						"slice store %s inside a range over a map depends on iteration order; collect the keys, sort them, then iterate",
+						exprString(lhs))
+				case *types.Pointer:
+					if _, isArr := t.Underlying().(*types.Pointer).Elem().Underlying().(*types.Array); isArr {
+						pass.Reportf(lhs.Pos(), "map-order",
+							"array store %s inside a range over a map depends on iteration order; collect the keys, sort them, then iterate",
+							exprString(lhs))
+					}
+				}
+			}
+		}
+		return true
+	})
+	// A plain `strings.Join`-style accumulation via += on a string is
+	// also order-sensitive, but += on numeric types is commutative;
+	// restrict to string concatenation.
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok.String() != "+=" || len(as.Lhs) != 1 {
+			return true
+		}
+		if t := info.TypeOf(as.Lhs[0]); t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				pass.Reportf(as.Pos(), "map-order",
+					"string concatenation inside a range over a map accumulates in nondeterministic order; collect the keys, sort them, then iterate")
+			}
+		}
+		return true
+	})
+}
+
+// appendTarget resolves the object being appended to, when it is a
+// plain identifier (`out = append(out, ...)`). Anything fancier is not
+// eligible for sort laundering.
+func appendTarget(info *types.Info, call *ast.CallExpr) types.Object {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.Uses[id]
+}
+
+// totalOrderSorts maps stdlib package path to the set of sort functions
+// whose result order depends only on the slice contents. sort.Slice and
+// sort.SliceStable are deliberately absent: an arbitrary less function
+// can induce ties, and the unstable sort lets map order leak through.
+var totalOrderSorts = map[string]map[string]bool{
+	"sort":   {"Ints": true, "Strings": true, "Float64s": true},
+	"slices": {"Sort": true},
+}
+
+// launderedBySort reports whether obj is passed to a total-order sort
+// anywhere in the enclosing function body.
+func launderedBySort(info *types.Info, enclosing *ast.BlockStmt, obj types.Object) bool {
+	if obj == nil || enclosing == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		names := totalOrderSorts[fn.Pkg().Path()]
+		if names == nil || !names[fn.Name()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.Uses[id] == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrcheckLite forbids silently discarded error returns in non-test
+// files: a call whose results include an error may not stand alone as an
+// expression statement, be deferred, or be launched with go. Assigning
+// the error to the blank identifier (`_ = f()`) is allowed — it is a
+// visible, greppable statement of intent, which a bare call is not.
+//
+// Excluded as documented-infallible or best-effort-by-design:
+//
+//   - fmt.Print/Printf/Println, and fmt.Fprint* writing to os.Stdout or
+//     os.Stderr (terminal output from CLIs);
+//   - methods on strings.Builder, bytes.Buffer and hash.Hash, whose
+//     Write-family methods are documented to never return an error.
+var ErrcheckLite = &Analyzer{
+	Name: "errcheck",
+	Doc: "no discarded error returns: calls returning an error must have it checked or " +
+		"explicitly assigned to _ (fmt terminal output and infallible writers excluded)",
+	Run: runErrcheckLite,
+}
+
+// infallibleTypes are types whose error-returning Write-family methods
+// are documented to never fail; calls on them (and fmt.Fprint* writes to
+// them) are exempt. Matched against the static type of the receiver or
+// writer expression, pointer-stripped.
+var infallibleTypes = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+	"hash.Hash":       true,
+}
+
+// isInfallibleWriter reports whether expr's static type is one of the
+// documented-infallible writer types (behind & / * as needed).
+func isInfallibleWriter(info *types.Info, expr ast.Expr) bool {
+	t := info.TypeOf(ast.Unparen(expr))
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return infallibleTypes[types.TypeString(t, nil)]
+}
+
+func runErrcheckLite(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscardedError(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				checkDiscardedError(pass, n.Call, "deferred ")
+			case *ast.GoStmt:
+				checkDiscardedError(pass, n.Call, "goroutine ")
+			}
+			return true
+		})
+	}
+}
+
+func checkDiscardedError(pass *Pass, call *ast.CallExpr, kind string) {
+	info := pass.Pkg.Info
+	if !returnsError(info, call) || isExcluded(info, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "discarded",
+		"%scall %s discards its error; handle it or assign it to _ explicitly",
+		kind, exprString(call.Fun))
+}
+
+// returnsError reports whether any result of the call is of type error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func isExcluded(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Recv() != nil {
+		// Method call: judge by the receiver expression's static type
+		// (the declared receiver of an interface method can be an
+		// embedded interface — hash.Hash's Write comes from io.Writer).
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return isInfallibleWriter(info, sel.X)
+		}
+		return false
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch fn.Name() {
+	case "Print", "Printf", "Println":
+		return true
+	case "Fprint", "Fprintf", "Fprintln":
+		return len(call.Args) > 0 &&
+			(isStdStream(info, call.Args[0]) || isInfallibleWriter(info, call.Args[0]))
+	}
+	return false
+}
+
+// isStdStream reports whether expr is os.Stdout or os.Stderr.
+func isStdStream(info *types.Info, expr ast.Expr) bool {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Stdout" && sel.Sel.Name != "Stderr") {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Var)
+	return ok && obj.Pkg() != nil && obj.Pkg().Path() == "os"
+}

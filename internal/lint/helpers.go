@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// simulatorPackages are the package names whose code must stay
+// deterministic and cancellable: the engines behind every conformance
+// check and every cached serving result.
+var simulatorPackages = map[string]bool{
+	"gca":   true,
+	"core":  true,
+	"pram":  true,
+	"ncell": true,
+	"hw":    true,
+	"gcasm": true,
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for
+// builtins, function-typed variables and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isBuiltin reports whether a call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// isNamedType reports whether t (possibly behind a pointer) is the named
+// type pkgName.typeName, matching by package name so that the testdata
+// fixture packages — which mimic the real packages' names — are checked
+// identically to the real tree.
+func isNamedType(t types.Type, pkgName, typeName string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// hasContextField reports whether t (possibly behind a pointer) is a
+// struct with at least one context.Context field — the Options-struct
+// form of context plumbing that core.Run and pram.Hirschberg use.
+func hasContextField(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isContextType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDecls yields every function declaration with a body in the package.
+func funcDecls(pkg *Package) []*ast.FuncDecl {
+	var decls []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+			}
+		}
+	}
+	return decls
+}
+
+// receiverNamed returns the named type of a method receiver (unwrapping
+// a pointer), or nil for plain functions.
+func receiverNamed(info *types.Info, fd *ast.FuncDecl) *types.Named {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := info.TypeOf(fd.Recv.List[0].Type)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MuGuard enforces the serving layer's mutex convention: in
+// internal/service, the struct fields declared in the contiguous group
+// directly below a mutex field named mu are guarded by it, and any
+// method of that struct which touches a guarded field must lock mu
+// (Lock or RLock) somewhere in its body.
+//
+// Two escape hatches match the codebase's existing idiom:
+//
+//   - a blank or comment line ends the guarded group, so fields that are
+//     deliberately outside the lock (test hooks, immutable config) are
+//     declared after a separator;
+//   - methods whose name ends in "Locked" are exempt — by convention
+//     their callers already hold mu (histogram.quantileLocked).
+//
+// This is a per-method-body heuristic, not an interprocedural proof: it
+// will not catch a lock taken in a helper, nor a field leaked by
+// pointer. The race detector (make test-race) remains the ground truth;
+// this check catches the easy mistake — a new method that forgets the
+// lock entirely — before any test runs.
+var MuGuard = &Analyzer{
+	Name: "muguard",
+	Doc: "in internal/service, fields declared contiguously after a `mu sync.Mutex`/`RWMutex` " +
+		"field may only be touched by methods that lock mu (methods named *Locked are exempt)",
+	Run: runMuGuard,
+}
+
+func runMuGuard(pass *Pass) {
+	if pass.Pkg.Name != "service" {
+		return
+	}
+	info := pass.Pkg.Info
+
+	// structName -> guarded field objects, for structs with a mu mutex.
+	guarded := map[string]map[*types.Var]bool{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			if g := guardedFields(pass, st); len(g) > 0 {
+				guarded[ts.Name.Name] = g
+			}
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return
+	}
+
+	for _, fd := range funcDecls(pass.Pkg) {
+		recv := receiverNamed(info, fd)
+		if recv == nil {
+			continue
+		}
+		g, ok := guarded[recv.Obj().Name()]
+		if !ok || strings.HasSuffix(fd.Name.Name, "Locked") {
+			continue
+		}
+		recvObj := receiverObject(info, fd)
+		if recvObj == nil {
+			continue
+		}
+		locked := bodyLocksMu(info, fd, recvObj)
+		reported := map[*types.Var]bool{} // one report per field per method
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok || info.Uses[id] != recvObj {
+				return true
+			}
+			fieldVar, ok := info.Uses[sel.Sel].(*types.Var)
+			if !ok || !g[fieldVar] {
+				return true
+			}
+			if !locked && !reported[fieldVar] {
+				reported[fieldVar] = true
+				pass.Reportf(sel.Pos(), "unlocked-access",
+					"%s.%s accesses %s, which is guarded by mu (declared in the group below it), without locking mu; lock it, or rename the method *Locked if callers hold the lock",
+					recv.Obj().Name(), fd.Name.Name, exprString(sel))
+			}
+			return true
+		})
+	}
+}
+
+// guardedFields returns the field objects in the contiguous declaration
+// group following a `mu sync.Mutex` / `sync.RWMutex` field. A gap in
+// source lines (blank line or comment) ends the group.
+func guardedFields(pass *Pass, st *ast.StructType) map[*types.Var]bool {
+	info := pass.Pkg.Info
+	fset := pass.Pkg.Fset
+	out := map[*types.Var]bool{}
+	inGroup := false
+	prevEndLine := 0
+	for _, field := range st.Fields.List {
+		isMu := false
+		for _, name := range field.Names {
+			if name.Name != "mu" {
+				continue
+			}
+			if t := info.TypeOf(field.Type); t != nil &&
+				(isNamedType(t, "sync", "Mutex") || isNamedType(t, "sync", "RWMutex")) {
+				isMu = true
+			}
+		}
+		line := fset.Position(field.Pos()).Line
+		if inGroup && line != prevEndLine+1 {
+			inGroup = false
+		}
+		if inGroup {
+			for _, name := range field.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					out[v] = true
+				}
+			}
+		}
+		if isMu {
+			inGroup = true
+		}
+		prevEndLine = fset.Position(field.End()).Line
+	}
+	return out
+}
+
+// receiverObject returns the types.Object of the method's receiver
+// variable, or nil for anonymous receivers.
+func receiverObject(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// bodyLocksMu reports whether the method body calls recv.mu.Lock or
+// recv.mu.RLock.
+func bodyLocksMu(info *types.Info, fd *ast.FuncDecl, recvObj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok || muSel.Sel.Name != "mu" {
+			return true
+		}
+		if id, ok := ast.Unparen(muSel.X).(*ast.Ident); ok && info.Uses[id] == recvObj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

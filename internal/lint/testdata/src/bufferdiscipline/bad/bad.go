@@ -1,0 +1,51 @@
+// Package gca is a deliberately-bad fixture: it violates the
+// double-buffer discipline in every way the analyzer must catch.
+package gca
+
+type Value int64
+
+type Cell struct {
+	D Value
+	A Value
+}
+
+type Field struct {
+	cur, next []Cell
+}
+
+func (f *Field) swap() { f.cur, f.next = f.next, f.cur }
+
+// SetCell is the sanctioned initialisation write; it must not flag.
+func (f *Field) SetCell(i int, c Cell) { f.cur[i] = c }
+
+func (f *Field) stepBad(i int) {
+	f.cur[i] = Cell{D: 1} // want "writes the current-state buffer"
+	_ = f.next[i].D       // want "reads an element of the next-state buffer"
+}
+
+func (f *Field) aliasBad() {
+	cur := f.cur
+	next := f.next
+	cur[0] = Cell{}          // want "writes the current-state buffer"
+	for _, c := range next { // want "ranges over the next-state buffer"
+		_ = c
+	}
+}
+
+func leak(f *Field) {
+	consume(f.next) // want "passes the next-state buffer"
+}
+
+func consume([]Cell) {}
+
+type badRule struct{ f *Field }
+
+func (r badRule) Pointer(i int, self Cell) int {
+	_ = r.f.cur // want "rule method badRule.Pointer references the Field"
+	return i
+}
+
+func (r badRule) Update(i int, self, global Cell) Value {
+	r.f.SetCell(i, global) // want "rule method badRule.Update references the Field"
+	return self.D
+}

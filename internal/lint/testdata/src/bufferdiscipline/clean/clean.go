@@ -1,0 +1,60 @@
+// Package gca is a clean fixture: the real machine's idioms — read the
+// current buffer, write the next buffer, commit with swap — must pass
+// without a single diagnostic.
+package gca
+
+type Value int64
+
+type Cell struct {
+	D Value
+	A Value
+}
+
+type Field struct {
+	cur, next []Cell
+}
+
+func NewField(size int) *Field {
+	return &Field{cur: make([]Cell, size), next: make([]Cell, size)}
+}
+
+func (f *Field) Len() int               { return len(f.cur) }
+func (f *Field) Cell(i int) Cell        { return f.cur[i] }
+func (f *Field) SetCell(i int, c Cell)  { f.cur[i] = c }
+func (f *Field) SetData(i int, d Value) { f.cur[i].D = d }
+func (f *Field) swap()                  { f.cur, f.next = f.next, f.cur }
+
+func (f *Field) Snapshot(dst []Value) []Value {
+	for _, c := range f.cur {
+		dst = append(dst, c.D)
+	}
+	return dst
+}
+
+type Machine struct {
+	field *Field
+}
+
+// runRange is the sanctioned step shape: element reads from cur,
+// element writes to next.
+func (m *Machine) runRange(lo, hi int) {
+	cur := m.field.cur
+	next := m.field.next
+	for i := lo; i < hi; i++ {
+		self := cur[i]
+		next[i] = Cell{D: self.D + 1, A: self.A}
+	}
+	_ = len(next)
+}
+
+type goodRule struct{ n int }
+
+// Pointer and Update are pure over their arguments.
+func (r goodRule) Pointer(i int, self Cell) int { return (i + 1) % r.n }
+
+func (r goodRule) Update(i int, self, global Cell) Value {
+	if global.D < self.D {
+		return global.D
+	}
+	return self.D
+}

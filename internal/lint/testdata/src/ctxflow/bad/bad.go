@@ -1,0 +1,33 @@
+// Package core is a deliberately-bad fixture: exported entry points
+// that drive a generation loop without accepting or checking a
+// context.Context.
+package core
+
+import "context"
+
+type Machine struct {
+	gen int
+}
+
+func (m *Machine) Step() { m.gen++ }
+
+// Run drives a step loop but takes no context at all.
+func Run(m *Machine, generations int) int { // want "accepts no context.Context"
+	for g := 0; g < generations; g++ {
+		m.Step()
+	}
+	return m.gen
+}
+
+// Options carries a context, mirroring the real core.Options idiom.
+type Options struct {
+	Ctx context.Context
+}
+
+// RunOpt accepts a context via its options struct but never checks it.
+func RunOpt(m *Machine, generations int, opt Options) int { // want "never calls Err or Done"
+	for g := 0; g < generations; g++ {
+		m.Step()
+	}
+	return m.gen
+}

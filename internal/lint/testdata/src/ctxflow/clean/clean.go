@@ -1,0 +1,62 @@
+// Package core is a clean fixture: the context idioms the real engines
+// use must pass without a diagnostic.
+package core
+
+import "context"
+
+type Machine struct {
+	gen int
+}
+
+func (m *Machine) Step() { m.gen++ }
+
+// Run accepts a context parameter and checks it each generation.
+func Run(ctx context.Context, m *Machine, generations int) (int, error) {
+	for g := 0; g < generations; g++ {
+		if err := ctx.Err(); err != nil {
+			return m.gen, err
+		}
+		m.Step()
+	}
+	return m.gen, nil
+}
+
+// Options carries a context, mirroring the real core.Options idiom.
+type Options struct {
+	Ctx context.Context
+}
+
+// RunOpt threads the context through an options struct and checks it
+// inside a step closure, like pram.Hirschberg does.
+func RunOpt(m *Machine, generations int, opt Options) (int, error) {
+	step := func() error {
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				return err
+			}
+		}
+		m.Step()
+		return nil
+	}
+	for g := 0; g < generations; g++ {
+		if err := step(); err != nil {
+			return m.gen, err
+		}
+	}
+	return m.gen, nil
+}
+
+// advance is unexported: the analyzer only holds exported entry points
+// to the context contract.
+func advance(m *Machine, generations int) {
+	for g := 0; g < generations; g++ {
+		m.Step()
+	}
+}
+
+// Reset has a loop but never steps — not a generation loop.
+func Reset(ms []*Machine) {
+	for _, m := range ms {
+		m.gen = 0
+	}
+}

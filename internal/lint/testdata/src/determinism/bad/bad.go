@@ -1,0 +1,65 @@
+// Package pram is a deliberately-bad fixture: every nondeterminism
+// source the determinism analyzer must catch.
+package pram
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Seed() int64 {
+	return time.Now().UnixNano() // want "time.Now in a simulator package"
+}
+
+func Draw(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rand.Intn(n) // want "draws from the process-global random source"
+	}
+	return out
+}
+
+func Keys(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want "append inside a range over a map"
+	}
+	return out
+}
+
+type level struct{ d, c int }
+
+// Levels sorts with sort.Slice, whose arbitrary comparator does not
+// launder map order (ties keep the random iteration order).
+func Levels(m map[int]int) []level {
+	var out []level
+	for d, c := range m {
+		out = append(out, level{d, c}) // want "append inside a range over a map"
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].d > out[j].d })
+	return out
+}
+
+func Emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "nondeterministic order"
+	}
+}
+
+func Scatter(m map[int]int, dst []int) {
+	i := 0
+	for k := range m {
+		dst[i] = k // want "slice store"
+		i++
+	}
+}
+
+func Concat(m map[string]string) string {
+	s := ""
+	for _, v := range m {
+		s += v // want "string concatenation"
+	}
+	return s
+}

@@ -1,0 +1,47 @@
+// Package pram is a clean fixture: the deterministic idioms the real
+// simulator packages use must pass without a diagnostic.
+package pram
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// DrawSeeded uses an explicitly seeded generator — replayable.
+func DrawSeeded(seed int64, n int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(n)
+	}
+	return out
+}
+
+// SortedKeys is the sanctioned map-iteration shape: collect, sort, then
+// iterate the slice.
+func SortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Histogram folds a map with a commutative operation — order-free.
+func Histogram(m map[int]int) (sum, count int) {
+	for _, v := range m {
+		sum += v
+		count++
+	}
+	return sum, count
+}
+
+// Invert writes into another map — order-free.
+func Invert(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

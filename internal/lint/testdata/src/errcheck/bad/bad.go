@@ -1,0 +1,34 @@
+// Package demo is a deliberately-bad fixture: every way of silently
+// discarding an error return that errcheck must catch.
+package demo
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+func parse(s string) (int, error) { return strconv.Atoi(s) }
+
+func fail() error { return io.EOF }
+
+func Bare() {
+	fail() // want "call fail discards its error"
+}
+
+func MultiResult(s string) {
+	parse(s) // want "call parse discards its error"
+}
+
+func Deferred(f *os.File) {
+	defer f.Close() // want "deferred call f.Close discards its error"
+}
+
+func Goroutine() {
+	go fail() // want "goroutine call fail discards its error"
+}
+
+func FprintfToFile(f *os.File) {
+	fmt.Fprintf(f, "hello\n") // want "call fmt.Fprintf discards its error"
+}

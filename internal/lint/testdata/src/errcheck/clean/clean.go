@@ -1,0 +1,61 @@
+// Package demo is a clean fixture: every sanctioned way of handling or
+// visibly discarding an error.
+package demo
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func parse(s string) (int, error) { return strconv.Atoi(s) }
+
+func Checked(s string) int {
+	n, err := parse(s)
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// ExplicitDiscard is greppable intent, unlike a bare call.
+func ExplicitDiscard(s string) {
+	_, _ = parse(s)
+}
+
+func Terminal() {
+	fmt.Println("hello")
+	fmt.Printf("%d\n", 42)
+	fmt.Fprintln(os.Stderr, "warning")
+	fmt.Fprintf(os.Stdout, "%d\n", 42)
+}
+
+func InfallibleWriters(data []byte) string {
+	var sb strings.Builder
+	sb.WriteString("head:")
+	fmt.Fprintf(&sb, "%d:", len(data))
+
+	var buf bytes.Buffer
+	buf.Write(data)
+
+	h := sha256.New()
+	h.Write(data)
+	h.Write(buf.Bytes())
+
+	sb.WriteString(fmt.Sprintf("%x", h.Sum(nil)))
+	return sb.String()
+}
+
+func DeferredWrapped(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	var buf [8]byte
+	_, err = f.Read(buf[:])
+	return err
+}

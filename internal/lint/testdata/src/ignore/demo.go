@@ -1,0 +1,22 @@
+// Package demo exercises the //lint:ignore directive: two identical
+// violations, one suppressed inline and one by a directive on the line
+// above; a third identical violation must still be reported, proving a
+// directive consumes exactly one diagnostic.
+package demo
+
+import "io"
+
+func fail() error { return io.EOF }
+
+func Suppressed() {
+	fail() //lint:ignore errcheck best-effort flush, failure is benign
+}
+
+func SuppressedAbove() {
+	//lint:ignore errcheck best-effort flush, failure is benign
+	fail()
+}
+
+func Reported() {
+	fail() // want "call fail discards its error"
+}

@@ -1,0 +1,36 @@
+// Package service is a deliberately-bad fixture: methods that touch
+// mu-guarded fields without taking the lock.
+package service
+
+import "sync"
+
+type Server struct {
+	mu      sync.Mutex
+	queue   []int
+	running int
+
+	hook func() // outside the guarded group: blank line above
+}
+
+// Enqueue forgets the lock entirely.
+func (s *Server) Enqueue(v int) {
+	s.queue = append(s.queue, v) // want "accesses s.queue"
+}
+
+// Running locks correctly on one path but the analyzer is a whole-body
+// heuristic; this method never locks at all.
+func (s *Server) Running() int {
+	return s.running // want "accesses s.running"
+}
+
+// SetHook touches only the unguarded field — clean.
+func (s *Server) SetHook(f func()) { s.hook = f }
+
+type Counter struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (c *Counter) Bump() {
+	c.n++ // want "accesses c.n"
+}

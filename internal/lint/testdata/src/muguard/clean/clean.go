@@ -1,0 +1,52 @@
+// Package service is a clean fixture: the locking idioms the real
+// serving layer uses must pass without a diagnostic.
+package service
+
+import "sync"
+
+type Server struct {
+	mu      sync.Mutex
+	queue   []int
+	running int
+
+	hook func() // outside the guarded group: blank line above
+}
+
+func (s *Server) Enqueue(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queue = append(s.queue, v)
+}
+
+func (s *Server) Snapshot() (int, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue), s.running
+}
+
+// drainLocked follows the *Locked convention: the caller holds mu.
+func (s *Server) drainLocked() []int {
+	out := s.queue
+	s.queue = nil
+	return out
+}
+
+// SetHook touches only the unguarded field.
+func (s *Server) SetHook(f func()) { s.hook = f }
+
+type Counter struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (c *Counter) Bump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Load() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
