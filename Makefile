@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race check verify fuzz-smoke bench serve
+.PHONY: all build vet test test-race lint fmt-check check verify fuzz-smoke bench serve
 
 all: check
 
@@ -13,15 +13,29 @@ build:
 vet:
 	$(GO) vet ./...
 
+# -shuffle=on randomises test and subtest execution order, so tests that
+# secretly depend on a sibling running first fail here instead of later.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # The serving layer is concurrency-heavy; its tests (and everything else)
 # must stay clean under the race detector.
 test-race:
 	$(GO) test -race ./...
 
-check: build vet test test-race
+# Custom stdlib-only analyzers for the model invariants (double-buffer
+# discipline, determinism, context plumbing, mutex guards, errcheck).
+# See internal/lint and TESTING.md.
+lint:
+	$(GO) run ./cmd/gca-lint -dir .
+
+# gofmt and go vet as a separate fast gate (CI runs it in the lint job).
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
+check: build vet test test-race lint
 
 # Cross-engine conformance harness (differential + metamorphic + analytic
 # oracles over the deterministic corpus). See TESTING.md.

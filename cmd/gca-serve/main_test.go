@@ -99,8 +99,8 @@ func TestComponentsHandlerMalformedBody(t *testing.T) {
 	h := componentsHandler(newTestService(t), 1<<20)
 	for _, body := range []string{
 		"this is not a graph",
-		"3 1\n0 9\n",   // endpoint out of range
-		"2 2\n0 1\n",   // fewer edges than the header promises
+		"3 1\n0 9\n", // endpoint out of range
+		"2 2\n0 1\n", // fewer edges than the header promises
 		"-1 0\n",     // negative vertex count
 		"2 1\nx y\n", // non-numeric edge endpoints
 	} {

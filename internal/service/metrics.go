@@ -14,15 +14,15 @@ import (
 // counter is a monotonically increasing event count.
 type counter struct{ v atomic.Int64 }
 
-func (c *counter) inc()            { c.v.Add(1) }
-func (c *counter) add(n int64)     { c.v.Add(n) }
-func (c *counter) value() int64    { return c.v.Load() }
+func (c *counter) inc()         { c.v.Add(1) }
+func (c *counter) add(n int64)  { c.v.Add(n) }
+func (c *counter) value() int64 { return c.v.Load() }
 
 // gauge is an instantaneous level (queue depth, jobs in flight).
 type gauge struct{ v atomic.Int64 }
 
-func (g *gauge) add(n int64)    { g.v.Add(n) }
-func (g *gauge) value() int64   { return g.v.Load() }
+func (g *gauge) add(n int64)  { g.v.Add(n) }
+func (g *gauge) value() int64 { return g.v.Load() }
 
 // histogram records durations in exponential buckets of microseconds:
 // bucket i counts observations in [2^i µs, 2^(i+1) µs), with the last
@@ -65,13 +65,13 @@ func (h *histogram) observe(d time.Duration) {
 // are upper-bucket-boundary estimates: within a factor of two of the
 // exact value by construction.
 type HistogramSnapshot struct {
-	Count    int64   `json:"count"`
-	MeanUS   float64 `json:"mean_us"`
-	MinUS    int64   `json:"min_us"`
-	MaxUS    int64   `json:"max_us"`
-	P50US    int64   `json:"p50_us"`
-	P90US    int64   `json:"p90_us"`
-	P99US    int64   `json:"p99_us"`
+	Count  int64   `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	MinUS  int64   `json:"min_us"`
+	MaxUS  int64   `json:"max_us"`
+	P50US  int64   `json:"p50_us"`
+	P90US  int64   `json:"p90_us"`
+	P99US  int64   `json:"p99_us"`
 }
 
 func (h *histogram) snapshot() HistogramSnapshot {

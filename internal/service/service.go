@@ -86,11 +86,11 @@ type Request struct {
 
 // Result is what a caller gets back. Labels is the caller's own copy.
 type Result struct {
-	Labels      []int        `json:"labels"`
-	Components  int          `json:"components"`
-	Engine      string       `json:"engine"`
-	Generations int          `json:"generations,omitempty"`
-	PRAMSteps   int          `json:"pram_steps,omitempty"`
+	Labels      []int  `json:"labels"`
+	Components  int    `json:"components"`
+	Engine      string `json:"engine"`
+	Generations int    `json:"generations,omitempty"`
+	PRAMSteps   int    `json:"pram_steps,omitempty"`
 	// Cached reports a result served from the LRU without any engine run.
 	Cached bool `json:"cached"`
 	// Coalesced reports a result served by joining an identical in-flight
@@ -134,11 +134,11 @@ type job struct {
 
 // Service is the serving layer. Create with New, stop with Close.
 type Service struct {
-	cfg        Config
-	simPerJob  int
-	queue      chan *job
-	metrics    metrics
-	wg         sync.WaitGroup
+	cfg       Config
+	simPerJob int
+	queue     chan *job
+	metrics   metrics
+	wg        sync.WaitGroup
 
 	mu       sync.Mutex
 	cache    *lruCache // nil when caching is disabled; guarded by mu
