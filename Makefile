@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race lint fmt-check check verify fuzz-smoke bench serve
+.PHONY: all build vet test test-race lint fmt-check check verify fuzz-smoke bench bench-json bench-smoke serve
 
 all: check
 
@@ -52,6 +52,20 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Append a labelled trajectory point (ns/op, B/op, custom metrics) to the
+# checked-in BENCH_<stamp>.json so wall-clock history stays comparable
+# across PRs. Override LABEL to name the point and BENCHFILE to target an
+# existing trajectory. See EXPERIMENTS.md "Wall-clock trajectory".
+LABEL ?= local
+BENCHFILE ?= BENCH_$(shell date +%Y%m%d).json
+bench-json:
+	$(GO) test -run='^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/gca-benchjson -label $(LABEL) -out $(BENCHFILE)
+
+# One iteration of every benchmark: catches benchmarks that no longer
+# compile or crash without paying for a full measurement run (CI gate).
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 serve:
 	$(GO) run ./cmd/gca-serve

@@ -1,0 +1,205 @@
+// Command gca-benchjson converts `go test -bench` text output into a
+// JSON trajectory point and appends it to a trajectory file, so the
+// repo's wall-clock numbers accumulate as comparable, machine-readable
+// records instead of scrollback:
+//
+//	go test -run='^$' -bench=. -benchmem ./... | gca-benchjson -label seed -out BENCH_20260805.json
+//
+// The output file holds one object with a "points" array; when it
+// already exists the new point is appended, so successive runs (before
+// and after an optimisation, or across machines) line up side by side.
+// Benchmark lines are parsed into ns/op, B/op, allocs/op and any custom
+// metrics (`52.00 generations`); goos/goarch/cpu/pkg header lines are
+// attached to the point and to each benchmark respectively.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Pkg         string             `json:"pkg,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Point is one trajectory entry: a labelled benchmark run.
+type Point struct {
+	Label      string      `json:"label"`
+	Date       string      `json:"date"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Trajectory is the file format: points in append order.
+type Trajectory struct {
+	Points []Point `json:"points"`
+}
+
+func main() {
+	var (
+		label = flag.String("label", "local", "label for this trajectory point")
+		out   = flag.String("out", "", "trajectory file to append to (default: stdout, no append)")
+		date  = flag.String("date", "", "date stamp (default: today, YYYY-MM-DD)")
+	)
+	flag.Parse()
+
+	if err := run(*label, *out, *date, os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "gca-benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(label, out, date string, in io.Reader) error {
+	point, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(point.Benchmarks) == 0 {
+		return errors.New("no benchmark result lines on stdin (pipe `go test -bench` output)")
+	}
+	point.Label = label
+	point.Date = date
+	if point.Date == "" {
+		point.Date = time.Now().Format("2006-01-02")
+	}
+
+	traj := &Trajectory{}
+	if out != "" {
+		if err := load(out, traj); err != nil {
+			return err
+		}
+	}
+	traj.Points = append(traj.Points, *point)
+
+	buf, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "gca-benchjson: %s: %d points (+%q with %d benchmarks)\n",
+		out, len(traj.Points), label, len(point.Benchmarks))
+	return nil
+}
+
+// load reads an existing trajectory file; a missing file is an empty
+// trajectory, anything else malformed is an error rather than silently
+// overwritten.
+func load(path string, traj *Trajectory) error {
+	buf, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(buf, traj); err != nil {
+		return fmt.Errorf("%s: not a trajectory file: %w", path, err)
+	}
+	return nil
+}
+
+// parse scans `go test -bench` output: header lines (goos/goarch/cpu/pkg)
+// and result lines of the form
+//
+//	BenchmarkName-8  1234  5678 ns/op  9.00 custom/metric  10 B/op  2 allocs/op
+//
+// The value/unit pairs after the iteration count are free-form; ns/op,
+// B/op and allocs/op get dedicated fields, everything else lands in
+// Metrics keyed by unit.
+func parse(in io.Reader) (*Point, error) {
+	point := &Point{}
+	pkg := ""
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			point.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			point.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			point.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseResult(line)
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				continue // e.g. a "BenchmarkX" name echoed with -v
+			}
+			b.Pkg = pkg
+			point.Benchmarks = append(point.Benchmarks, *b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return point, nil
+}
+
+func parseResult(line string) (*Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return nil, nil
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the -GOMAXPROCS suffix go test appends to the name.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad iteration count in %q: %w", line, err)
+	}
+	b := &Benchmark{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q in %q: %w", fields[i], line, err)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			b.BytesPerOp = val
+		case "allocs/op":
+			b.AllocsPerOp = val
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: gcacc
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFigure2GCAProgram/n=128-8       248   4762154 ns/op   204.0 generations   434022 B/op   217 allocs/op
+BenchmarkEngineWorkers/workers=1         247   4823898 ns/op   434022 B/op   217 allocs/op
+PASS
+ok  gcacc  13.688s
+`
+
+func TestParseSample(t *testing.T) {
+	p, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Goos != "linux" || p.Goarch != "amd64" || !strings.Contains(p.CPU, "Xeon") {
+		t.Fatalf("header = %q/%q/%q", p.Goos, p.Goarch, p.CPU)
+	}
+	if len(p.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(p.Benchmarks))
+	}
+	b := p.Benchmarks[0]
+	if b.Name != "Figure2GCAProgram/n=128" {
+		t.Errorf("name = %q (GOMAXPROCS suffix must be stripped)", b.Name)
+	}
+	if b.Pkg != "gcacc" || b.Iterations != 248 || b.NsPerOp != 4762154 ||
+		b.BytesPerOp != 434022 || b.AllocsPerOp != 217 {
+		t.Errorf("benchmark = %+v", b)
+	}
+	if b.Metrics["generations"] != 204 {
+		t.Errorf("custom metric generations = %v, want 204", b.Metrics["generations"])
+	}
+	if p.Benchmarks[1].Name != "EngineWorkers/workers=1" {
+		t.Errorf("second name = %q", p.Benchmarks[1].Name)
+	}
+}
+
+func TestRunAppendsPoints(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := run("seed", out, "2026-08-05", strings.NewReader(sample)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("fast-path", out, "2026-08-05", strings.NewReader(sample)); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj Trajectory
+	if err := json.Unmarshal(buf, &traj); err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(traj.Points))
+	}
+	if traj.Points[0].Label != "seed" || traj.Points[1].Label != "fast-path" {
+		t.Fatalf("labels = %q, %q", traj.Points[0].Label, traj.Points[1].Label)
+	}
+	if traj.Points[0].Date != "2026-08-05" {
+		t.Fatalf("date = %q", traj.Points[0].Date)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	if err := run("x", "", "", strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("no error for input without benchmark lines")
+	}
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"fmt"
+
+	"gcacc/internal/gca"
+)
+
+// This file is the bulk-kernel fast path of the Figure-2 program: one
+// specialised evaluator per generation, operating directly on the field's
+// raw struct-of-arrays slices instead of going through the per-cell
+// Pointer/Update interface dispatch of rule. The machine selects a kernel
+// per step (gca.KernelRule) whenever congestion collection and pointer
+// capture are off; the lockstep tests in kernel_lockstep_test.go pin the
+// kernels bit-identical — field contents, active counts and read counts —
+// to the generic path for every committed sub-generation.
+//
+// Kernels follow the machine's buffer discipline (enforced by the
+// bufferdiscipline analyzer): read cur and a, write exactly next[lo:hi],
+// never alias. Row/column arithmetic is hoisted out of the cell loop: the
+// square field is walked row segment by row segment so the per-row global
+// operand (C(row), T(row), row itself) is loaded once per segment rather
+// than once per cell.
+
+var _ gca.KernelRule = rule{}
+
+// KernelFor implements gca.KernelRule. The choice depends only on ctx, so
+// every shard of a step agrees on the path taken.
+func (r rule) KernelFor(ctx gca.Context) gca.Kernel {
+	n := r.lay.N
+	switch ctx.Generation {
+	case GenInit:
+		return kernelInit(n)
+	case GenCopyC:
+		return kernelBroadcastColumn(n, false)
+	case GenCopyT:
+		return kernelBroadcastColumn(n, true)
+	case GenMaskAdj:
+		return kernelMaskAdj(n)
+	case GenReduceT, GenReduceT2:
+		return kernelReduce(n, 1<<uint(ctx.Sub))
+	case GenDefaultT, GenDefaultT2:
+		return kernelDefaultT(n)
+	case GenMaskComp:
+		return kernelMaskComp(n)
+	case GenSpread:
+		return kernelSpread(n)
+	case GenShortcut:
+		return kernelShortcut(n, ctx)
+	case GenFinalMin:
+		return kernelFinalMin(n, ctx)
+	}
+	return nil
+}
+
+// kernelInit is generation 0: d ← row(index) for every cell, no reads.
+func kernelInit(n int) gca.Kernel {
+	return func(lo, hi int, cur, next, _ []gca.Value) (int, int, error) {
+		active := 0
+		row := lo / n
+		for i := lo; i < hi; {
+			end := min((row+1)*n, hi)
+			v := gca.Value(row)
+			for ; i < end; i++ {
+				next[i] = v
+				if cur[i] != v {
+					active++
+				}
+			}
+			row++
+		}
+		return active, 0, nil
+	}
+}
+
+// kernelBroadcastColumn is generations 1 and 5: every cell reads
+// D<col>[0] (p = col·n). Generation 1 stores it everywhere; generation 5
+// keeps the bottom row's state (the read still happens and is counted,
+// Table 1 "see gen. 1").
+func kernelBroadcastColumn(n int, keepBottom bool) gca.Kernel {
+	nn := n * n
+	return func(lo, hi int, cur, next, _ []gca.Value) (int, int, error) {
+		active := 0
+		stop := hi
+		if keepBottom {
+			stop = min(hi, nn)
+		}
+		col := lo % n
+		cn := col * n // col(i)·n, maintained incrementally
+		rowEnd := lo + n - col
+		for i := lo; i < stop; i++ {
+			if i == rowEnd {
+				cn = 0
+				rowEnd += n
+			}
+			v := cur[cn]
+			next[i] = v
+			if v != cur[i] {
+				active++
+			}
+			cn += n
+		}
+		if keepBottom {
+			// Bottom row: read performed and discarded, state kept.
+			if b := max(lo, nn); b < hi {
+				copy(next[b:hi], cur[b:hi])
+			}
+		}
+		return active, hi - lo, nil
+	}
+}
+
+// kernelMaskAdj is generation 2: square cells read C(row) from D_N[row]
+// and keep C(col) only where A = 1 and the components differ; the bottom
+// row keeps its state without a read.
+func kernelMaskAdj(n int) gca.Kernel {
+	nn := n * n
+	return func(lo, hi int, cur, next, a []gca.Value) (int, int, error) {
+		active, reads := 0, 0
+		sq := min(hi, nn)
+		row := lo / n
+		for i := lo; i < sq; {
+			end := min((row+1)*n, sq)
+			cRow := cur[nn+row]
+			reads += end - i
+			for ; i < end; i++ {
+				d := cur[i]
+				v := gca.Inf
+				if a[i] == 1 && d != cRow {
+					v = d
+				}
+				next[i] = v
+				if v != d {
+					active++
+				}
+			}
+			row++
+		}
+		if b := max(lo, nn); b < hi {
+			copy(next[b:hi], cur[b:hi])
+		}
+		return active, reads, nil
+	}
+}
+
+// kernelReduce is generations 3 and 7, one sub-generation of the row-wise
+// tree min-reduction: cell (row, col) reads cell (row, col+step) when that
+// stays inside the row, otherwise it keeps its state without a read. The
+// bottom row is idle.
+func kernelReduce(n, step int) gca.Kernel {
+	nn := n * n
+	return func(lo, hi int, cur, next, _ []gca.Value) (int, int, error) {
+		active, reads := 0, 0
+		sq := min(hi, nn)
+		row := lo / n
+		for i := lo; i < sq; {
+			end := min((row+1)*n, sq)
+			// cut is the first index of the row whose read would cross
+			// the row boundary (col + step ≥ n).
+			cut := max(row*n+n-step, row*n)
+			for stop := min(end, cut); i < stop; i++ {
+				d := cur[i]
+				v := cur[i+step]
+				reads++
+				if v < d {
+					next[i] = v
+					active++
+				} else {
+					next[i] = d
+				}
+			}
+			if i < end {
+				copy(next[i:end], cur[i:end])
+				i = end
+			}
+			row++
+		}
+		if b := max(lo, nn); b < hi {
+			copy(next[b:hi], cur[b:hi])
+		}
+		return active, reads, nil
+	}
+}
+
+// kernelDefaultT is generations 4 and 8: only the first column acts —
+// cells whose min came up ∞ take C(row) from D_N[row]; every column-0
+// square cell performs the read. All other cells keep their state.
+func kernelDefaultT(n int) gca.Kernel {
+	nn := n * n
+	return func(lo, hi int, cur, next, _ []gca.Value) (int, int, error) {
+		active, reads := 0, 0
+		copy(next[lo:hi], cur[lo:hi])
+		first := (lo + n - 1) / n * n // first column-0 index ≥ lo
+		row := first / n
+		for i := first; i < hi && i < nn; i += n {
+			reads++
+			if d := cur[i]; d == gca.Inf {
+				v := cur[nn+row]
+				next[i] = v
+				if v != d {
+					active++
+				}
+			}
+			row++
+		}
+		return active, reads, nil
+	}
+}
+
+// kernelMaskComp is generation 6: square cells read C(col) from D_N[col]
+// and keep T(col) exactly when C(col) = row and T(col) ≠ row; the bottom
+// row keeps its state without a read.
+func kernelMaskComp(n int) gca.Kernel {
+	nn := n * n
+	return func(lo, hi int, cur, next, _ []gca.Value) (int, int, error) {
+		active, reads := 0, 0
+		sq := min(hi, nn)
+		row := lo / n
+		for i := lo; i < sq; {
+			end := min((row+1)*n, sq)
+			rv := gca.Value(row)
+			col := i - row*n
+			reads += end - i
+			for ; i < end; i++ {
+				d := cur[i]
+				v := gca.Inf
+				if cur[nn+col] == rv && d != rv {
+					v = d
+				}
+				next[i] = v
+				if v != d {
+					active++
+				}
+				col++
+			}
+			row++
+		}
+		if b := max(lo, nn); b < hi {
+			copy(next[b:hi], cur[b:hi])
+		}
+		return active, reads, nil
+	}
+}
+
+// kernelSpread is generation 9: square cells outside column 0 read T(row)
+// from D<row>[0] and take it; column 0 and the bottom row keep their
+// state without a read.
+func kernelSpread(n int) gca.Kernel {
+	nn := n * n
+	return func(lo, hi int, cur, next, _ []gca.Value) (int, int, error) {
+		active, reads := 0, 0
+		sq := min(hi, nn)
+		row := lo / n
+		for i := lo; i < sq; {
+			end := min((row+1)*n, sq)
+			t := cur[row*n]
+			if i == row*n {
+				next[i] = cur[i] // column 0 keeps, no read
+				i++
+			}
+			reads += end - i
+			for ; i < end; i++ {
+				next[i] = t
+				if t != cur[i] {
+					active++
+				}
+			}
+			row++
+		}
+		if b := max(lo, nn); b < hi {
+			copy(next[b:hi], cur[b:hi])
+		}
+		return active, reads, nil
+	}
+}
+
+// kernelShortcut is generation 10, one sub-generation of pointer
+// shortcutting: column-0 square cells read D<C(row)>[0], i.e. C(C(row)).
+// Everything else keeps its state.
+func kernelShortcut(n int, ctx gca.Context) gca.Kernel {
+	nn := n * n
+	return func(lo, hi int, cur, next, _ []gca.Value) (int, int, error) {
+		active, reads := 0, 0
+		copy(next[lo:hi], cur[lo:hi])
+		first := (lo + n - 1) / n * n
+		for i := first; i < hi && i < nn; i += n {
+			d := cur[i]
+			if d < 0 || d >= gca.Value(n) {
+				return active, reads, kernelRangeErr(ctx, i, n)
+			}
+			v := cur[int(d)*n]
+			reads++
+			if v != d {
+				next[i] = v
+				active++
+			}
+		}
+		return active, reads, nil
+	}
+}
+
+// kernelFinalMin is generation 11: column-0 square cells read
+// D<C(row)>[1], which still holds T(C(row)) from generation 9, and take
+// the minimum. Everything else keeps its state.
+func kernelFinalMin(n int, ctx gca.Context) gca.Kernel {
+	nn := n * n
+	return func(lo, hi int, cur, next, _ []gca.Value) (int, int, error) {
+		active, reads := 0, 0
+		copy(next[lo:hi], cur[lo:hi])
+		first := (lo + n - 1) / n * n
+		for i := first; i < hi && i < nn; i += n {
+			d := cur[i]
+			if d < 0 || d >= gca.Value(n) {
+				return active, reads, kernelRangeErr(ctx, i, n)
+			}
+			v := cur[int(d)*n+1]
+			reads++
+			if v < d {
+				next[i] = v
+				active++
+			}
+		}
+		return active, reads, nil
+	}
+}
+
+// kernelRangeErr mirrors the generic path's out-of-range pointer error:
+// rule.Pointer maps an invalid C value to lay.Size(), which the machine
+// reports with exactly this message.
+func kernelRangeErr(ctx gca.Context, cell, n int) error {
+	size := n * (n + 1)
+	return fmt.Errorf("gca: generation %d sub %d: cell %d computed out-of-range pointer %d (field size %d)",
+		ctx.Generation, ctx.Sub, cell, size, size)
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"gcacc/internal/gca"
 	"gcacc/internal/graph"
@@ -74,17 +75,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		return &Result{Labels: []int{}, N: 0}, nil
 	}
 	lay := Layout{N: n}
-	field := gca.NewField(lay.Size())
-	// Load the adjacency matrix into the static a field of the square
-	// cells: cell (j,i).a = A(j,i).
-	adj := g.Adjacency()
-	for j := 0; j < n; j++ {
-		for i := 0; i < n; i++ {
-			if adj.Get(j, i) {
-				field.SetCell(lay.Index(j, i), gca.Cell{A: 1})
-			}
-		}
-	}
+	field := newProgramField(g, lay)
 
 	var mopts []gca.Option
 	mopts = append(mopts, gca.WithWorkers(opt.Workers))
@@ -98,15 +89,29 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		mopts = append(mopts, gca.WithObserver(opt.Observer))
 	}
 	machine := gca.NewMachine(field, rule{lay: lay}, mopts...)
+	defer machine.Close()
 
 	iters := opt.Iterations
 	if iters <= 0 {
 		iters = Iterations(n)
 	}
 
+	// The canonical control sequence — generation 0 once, then iters
+	// passes over generations 1–11. Schedule is the single source of
+	// truth for the sequencing, shared with the conformance harness.
+	sched := Schedule(n, iters)
+
 	res := &Result{N: n, Iterations: iters}
+	if opt.CollectStats {
+		res.Records = make([]GenRecord, 0, len(sched))
+	}
 	step := func(ctx gca.Context) error {
 		if opt.Ctx != nil {
+			// A committed generation is the run's cancellation point. The
+			// single-worker step path runs inline without touching the
+			// scheduler, so on GOMAXPROCS=1 the goroutine calling cancel
+			// would otherwise starve until the run completes; yield first.
+			runtime.Gosched()
 			if err := opt.Ctx.Err(); err != nil {
 				return fmt.Errorf("core: iteration %d generation %d: %w",
 					ctx.Iteration, ctx.Generation, err)
@@ -133,10 +138,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		return nil
 	}
 
-	// Execute the canonical control sequence — generation 0 once, then
-	// iters passes over generations 1–11. Schedule is the single source of
-	// truth for the sequencing, shared with the conformance harness.
-	for _, ctx := range Schedule(n, iters) {
+	for _, ctx := range sched {
 		if err := step(ctx); err != nil {
 			return nil, err
 		}
@@ -148,6 +150,24 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		res.Labels[j] = int(field.Data(lay.ColumnZero(j)))
 	}
 	return res, nil
+}
+
+// newProgramField builds the (n+1)×n cell field of the Figure-2 program
+// with the adjacency matrix loaded into the static a field of the square
+// cells: cell (j,i).a = A(j,i). Shared by Run and the kernel lockstep
+// tests.
+func newProgramField(g *graph.Graph, lay Layout) *gca.Field {
+	field := gca.NewField(lay.Size())
+	adj := g.Adjacency()
+	n := lay.N
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if adj.Get(j, i) {
+				field.SetCell(lay.Index(j, i), gca.Cell{A: 1})
+			}
+		}
+	}
+	return field
 }
 
 // ComponentCount returns the number of distinct labels in the result.

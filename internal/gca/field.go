@@ -12,14 +12,19 @@ type Cell struct {
 	A Value // static auxiliary field a, fixed at initialisation
 }
 
-// Field is a linear array of cells with double buffering. Rules read the
-// current buffer and the machine writes the next buffer, which makes every
-// generation a pure function of the previous one.
+// Field stores the cell state in struct-of-arrays form: the mutable data
+// field d is double-buffered (rules read the current buffer, the machine
+// writes the next buffer, so every generation is a pure function of the
+// previous one), while the auxiliary field a — immutable after
+// initialisation — is kept in a single shared slice that a step never
+// copies. Compared to an array-of-Cell layout this halves the bytes a
+// step moves and keeps the hot d values densely packed.
 //
 // Two-dimensional layouts (the paper's (n+1)×n matrix) are expressed by
 // the caller through index arithmetic; Field itself is shape-agnostic.
 type Field struct {
-	cur, next []Cell
+	cur, next []Value // data field d, double buffered
+	a         []Value // static auxiliary field a, shared by both generations
 }
 
 // NewField returns a field of size cells, all zero.
@@ -28,8 +33,9 @@ func NewField(size int) *Field {
 		panic(fmt.Sprintf("gca: negative field size %d", size))
 	}
 	return &Field{
-		cur:  make([]Cell, size),
-		next: make([]Cell, size),
+		cur:  make([]Value, size),
+		next: make([]Value, size),
+		a:    make([]Value, size),
 	}
 }
 
@@ -37,19 +43,25 @@ func NewField(size int) *Field {
 func (f *Field) Len() int { return len(f.cur) }
 
 // Cell returns the current state of cell idx.
-func (f *Field) Cell(idx int) Cell { return f.cur[idx] }
+func (f *Field) Cell(idx int) Cell { return Cell{D: f.cur[idx], A: f.a[idx]} }
 
 // Data returns the current data field of cell idx.
-func (f *Field) Data(idx int) Value { return f.cur[idx].D }
+func (f *Field) Data(idx int) Value { return f.cur[idx] }
+
+// Aux returns the static auxiliary field of cell idx.
+func (f *Field) Aux(idx int) Value { return f.a[idx] }
 
 // SetCell overwrites the current state of cell idx. It is intended for
 // initialisation (generation 0 inputs such as the adjacency field a);
 // calling it between machine steps breaks the synchronous semantics only
 // if done from concurrent goroutines.
-func (f *Field) SetCell(idx int, c Cell) { f.cur[idx] = c }
+func (f *Field) SetCell(idx int, c Cell) {
+	f.cur[idx] = c.D
+	f.a[idx] = c.A
+}
 
 // SetData overwrites the current data field of cell idx.
-func (f *Field) SetData(idx int, d Value) { f.cur[idx].D = d }
+func (f *Field) SetData(idx int, d Value) { f.cur[idx] = d }
 
 // Snapshot appends the current data fields to dst and returns it; with a
 // nil dst it allocates exactly Len() entries. Observers use it to capture
@@ -58,10 +70,7 @@ func (f *Field) Snapshot(dst []Value) []Value {
 	if dst == nil {
 		dst = make([]Value, 0, f.Len())
 	}
-	for _, c := range f.cur {
-		dst = append(dst, c.D)
-	}
-	return dst
+	return append(dst, f.cur...)
 }
 
 // swap commits the next buffer as the current one.

@@ -1,6 +1,7 @@
 package gca
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -20,13 +21,18 @@ type ObserverFunc func(f *Field, s *StepStats)
 func (fn ObserverFunc) OnStep(f *Field, s *StepStats) { fn(f, s) }
 
 // Machine executes a Rule over a Field in synchronous generations,
-// optionally sharded over multiple goroutines. The result of a step is a
-// pure function of the previous field state, so it is bit-identical for
-// every worker count.
+// optionally sharded over a persistent pool of worker goroutines. The
+// result of a step is a pure function of the previous field state, so it
+// is bit-identical for every worker count.
+//
+// A machine that steps with more than one worker owns pool goroutines;
+// call Close when done with it. Close is idempotent, and a machine that
+// never entered the parallel path owns no goroutines.
 type Machine struct {
 	field   *Field
 	rule    Rule
-	rule2   Rule2 // non-nil when rule is two-handed
+	rule2   Rule2      // non-nil when rule is two-handed
+	kernels KernelRule // non-nil when rule provides bulk kernels
 	workers int
 
 	collectCongestion bool
@@ -35,8 +41,30 @@ type Machine struct {
 
 	tick int64
 
+	// Shard plan, fixed at construction: worker w evaluates cells
+	// [lo[w], hi[w]). active is the number of non-empty shards; fields
+	// too small to be worth sharding get a single shard regardless of
+	// the requested worker count.
+	lo, hi []int
+	active int
+
+	// Persistent worker pool, started lazily on the first parallel step.
+	// Step publishes the job state below, releases workers 1..active-1
+	// through their start channels, evaluates shard 0 itself, and joins
+	// on wg — a two-phase barrier per step. Close closes the channels.
+	poolStarted bool
+	closed      bool
+	start       []chan struct{}
+	wg          sync.WaitGroup
+
+	// Per-step job state, written by Step before the workers are
+	// released (the channel send orders the accesses).
+	jobCtx    Context
+	jobKernel Kernel
+
 	// Scratch buffers, reused across steps.
 	stats       StepStats
+	results     []rangeResult
 	workerReads [][]int32
 }
 
@@ -50,13 +78,15 @@ func WithWorkers(n int) Option {
 }
 
 // WithCongestion enables per-target read counting (Table 1's δ column).
-// It costs one int32 per cell per worker.
+// It costs one int32 per cell per worker, and disables the bulk-kernel
+// fast path.
 func WithCongestion() Option {
 	return func(m *Machine) { m.collectCongestion = true }
 }
 
 // WithPointerCapture records each cell's resolved pointer and whether its
-// state changed — the inputs of the Figure-3 access-pattern renderer.
+// state changed — the inputs of the Figure-3 access-pattern renderer. It
+// disables the bulk-kernel fast path.
 func WithPointerCapture() Option {
 	return func(m *Machine) { m.capturePointers = true }
 }
@@ -78,6 +108,9 @@ func NewMachine(field *Field, rule Rule, opts ...Option) *Machine {
 	if r2, ok := rule.(Rule2); ok {
 		m.rule2 = r2
 	}
+	if kr, ok := rule.(KernelRule); ok {
+		m.kernels = kr
+	}
 	for _, o := range opts {
 		o(m)
 	}
@@ -90,10 +123,16 @@ func NewMachine(field *Field, rule Rule, opts ...Option) *Machine {
 	if m.workers < 1 {
 		m.workers = 1
 	}
+	m.planShards()
+
 	n := field.Len()
+	m.results = make([]rangeResult, m.active)
 	if m.collectCongestion {
 		m.stats.Reads = make([]int32, n)
-		m.workerReads = make([][]int32, m.workers)
+		// One read-count buffer per shard that actually runs; shards
+		// that never run would only add zero-filled buffers to every
+		// zeroing and merge pass.
+		m.workerReads = make([][]int32, m.active)
 		for i := range m.workerReads {
 			if i == 0 {
 				m.workerReads[i] = m.stats.Reads // worker 0 writes the merge target directly
@@ -109,16 +148,76 @@ func NewMachine(field *Field, rule Rule, opts ...Option) *Machine {
 	return m
 }
 
+// planShards fixes the per-worker cell ranges. The field size never
+// changes, so the plan is computed once; fields below the sharding
+// threshold collapse to a single shard evaluated by the caller.
+func (m *Machine) planShards() {
+	n := m.field.Len()
+	if m.workers == 1 || n < 2*minChunk {
+		m.lo, m.hi = []int{0}, []int{n}
+		m.active = 1
+		return
+	}
+	chunk := (n + m.workers - 1) / m.workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		m.lo = append(m.lo, lo)
+		m.hi = append(m.hi, hi)
+	}
+	m.active = len(m.lo)
+	m.start = make([]chan struct{}, m.active)
+	for w := 1; w < m.active; w++ {
+		m.start[w] = make(chan struct{}, 1)
+	}
+}
+
+// startPool launches the persistent worker goroutines. Each worker owns
+// one fixed shard and parks on its start channel between steps.
+func (m *Machine) startPool() {
+	m.poolStarted = true
+	for w := 1; w < m.active; w++ {
+		go func(w int) {
+			for range m.start[w] {
+				m.results[w] = m.runRange(m.jobCtx, m.lo[w], m.hi[w], w)
+				m.wg.Done()
+			}
+		}(w)
+	}
+}
+
+// Close releases the machine's worker goroutines. It is idempotent and
+// safe on machines that never stepped. Step must not be called after
+// Close.
+func (m *Machine) Close() {
+	if m.closed {
+		return
+	}
+	m.closed = true
+	if m.poolStarted {
+		for w := 1; w < m.active; w++ {
+			close(m.start[w])
+		}
+	}
+}
+
 // Field returns the machine's field.
 func (m *Machine) Field() *Field { return m.field }
 
 // Tick returns the number of committed steps since construction.
 func (m *Machine) Tick() int64 { return m.tick }
 
+// errClosed is returned by Step after Close.
+var errClosed = errors.New("gca: Step called on a closed Machine")
+
 // Step executes one synchronous generation under ctx and commits it.
 // The returned stats are valid until the next call to Step.
 func (m *Machine) Step(ctx Context) (*StepStats, error) {
-	n := m.field.Len()
+	if m.closed {
+		return nil, errClosed
+	}
 	ctx.Tick = m.tick
 	m.stats.Ctx = ctx
 	m.stats.Active = 0
@@ -127,44 +226,41 @@ func (m *Machine) Step(ctx Context) (*StepStats, error) {
 
 	if m.collectCongestion {
 		for _, wr := range m.workerReads {
-			for i := range wr {
-				wr[i] = 0
-			}
+			clear(wr)
 		}
 	}
 
-	var err error
-	if m.workers == 1 || n < 2*minChunk {
-		res := m.runRange(ctx, 0, n, 0)
-		m.stats.Active = res.active
-		m.stats.TotalReads = res.reads
-		err = res.err
+	// The bulk-kernel fast path applies when the rule provides a kernel
+	// for this generation and no instrumentation needs per-cell pointer
+	// visibility. The choice depends only on ctx, so every shard of the
+	// step takes the same path and the result stays bit-identical to the
+	// generic one.
+	m.jobKernel = nil
+	if m.kernels != nil && !m.collectCongestion && !m.capturePointers {
+		m.jobKernel = m.kernels.KernelFor(ctx)
+	}
+
+	if m.active == 1 {
+		m.results[0] = m.runRange(ctx, m.lo[0], m.hi[0], 0)
 	} else {
-		results := make([]rangeResult, m.workers)
-		var wg sync.WaitGroup
-		chunk := (n + m.workers - 1) / m.workers
-		for w := 0; w < m.workers; w++ {
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > n {
-				hi = n
-			}
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				results[w] = m.runRange(ctx, lo, hi, w)
-			}(w, lo, hi)
+		m.jobCtx = ctx
+		if !m.poolStarted {
+			m.startPool()
 		}
-		wg.Wait()
-		for _, r := range results {
-			m.stats.Active += r.active
-			m.stats.TotalReads += r.reads
-			if r.err != nil && err == nil {
-				err = r.err
-			}
+		m.wg.Add(m.active - 1)
+		for w := 1; w < m.active; w++ {
+			m.start[w] <- struct{}{}
+		}
+		m.results[0] = m.runRange(ctx, m.lo[0], m.hi[0], 0)
+		m.wg.Wait()
+	}
+
+	var err error
+	for _, r := range m.results {
+		m.stats.Active += r.active
+		m.stats.TotalReads += r.reads
+		if r.err != nil && err == nil {
+			err = r.err
 		}
 	}
 	if err != nil {
@@ -174,8 +270,7 @@ func (m *Machine) Step(ctx Context) (*StepStats, error) {
 	if m.collectCongestion {
 		merged := m.stats.Reads
 		for w := 1; w < len(m.workerReads); w++ {
-			wr := m.workerReads[w]
-			for i, v := range wr {
+			for i, v := range m.workerReads[w] {
 				if v != 0 {
 					merged[i] += v
 				}
@@ -198,7 +293,7 @@ func (m *Machine) Step(ctx Context) (*StepStats, error) {
 	return &m.stats, nil
 }
 
-// minChunk is the smallest per-worker range worth a goroutine.
+// minChunk is the smallest per-worker range worth sharding.
 const minChunk = 256
 
 type rangeResult struct {
@@ -207,18 +302,26 @@ type rangeResult struct {
 	err    error
 }
 
-// runRange evaluates cells [lo, hi) of the next generation.
+// runRange evaluates cells [lo, hi) of the next generation, through the
+// step's bulk kernel when one is set and the generic per-cell
+// Pointer/Update path otherwise.
 func (m *Machine) runRange(ctx Context, lo, hi, worker int) rangeResult {
-	var res rangeResult
 	cur := m.field.cur
 	next := m.field.next
+	aux := m.field.a
+	if k := m.jobKernel; k != nil {
+		active, reads, err := k(lo, hi, cur, next, aux)
+		return rangeResult{active: active, reads: reads, err: err}
+	}
+
+	var res rangeResult
 	n := len(cur)
 	var reads []int32
 	if m.collectCongestion {
 		reads = m.workerReads[worker]
 	}
 	for i := lo; i < hi; i++ {
-		self := cur[i]
+		self := Cell{D: cur[i], A: aux[i]}
 		p := m.rule.Pointer(ctx, i, self)
 		var global Cell
 		switch {
@@ -231,7 +334,7 @@ func (m *Machine) runRange(ctx Context, lo, hi, worker int) rangeResult {
 			}
 			continue
 		default:
-			global = cur[p]
+			global = Cell{D: cur[p], A: aux[p]}
 			res.reads++
 			if reads != nil {
 				reads[p]++
@@ -251,7 +354,7 @@ func (m *Machine) runRange(ctx Context, lo, hi, worker int) rangeResult {
 				}
 				continue
 			default:
-				global2 = cur[p2]
+				global2 = Cell{D: cur[p2], A: aux[p2]}
 				res.reads++
 				if reads != nil {
 					reads[p2]++
@@ -261,7 +364,7 @@ func (m *Machine) runRange(ctx Context, lo, hi, worker int) rangeResult {
 		} else {
 			d = m.rule.Update(ctx, i, self, global)
 		}
-		next[i] = Cell{D: d, A: self.A}
+		next[i] = d
 		changed := d != self.D
 		if changed {
 			res.active++

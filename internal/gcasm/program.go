@@ -3,6 +3,7 @@ package gcasm
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"gcacc/internal/gca"
@@ -173,6 +174,7 @@ func (p *Program) Run(cfg RunConfig) (*RunResult, error) {
 		mopts = append(mopts, gca.WithObserver(cfg.Observer))
 	}
 	machine := gca.NewMachine(cfg.Field, r, mopts...)
+	defer machine.Close()
 
 	res := &RunResult{}
 	for _, item := range p.schedule {
@@ -183,6 +185,10 @@ func (p *Program) Run(cfg RunConfig) (*RunResult, error) {
 				times := p.gens[gi].times.resolve(cfg.N)
 				for sub := 0; sub < times; sub++ {
 					if cfg.Ctx != nil {
+						// Yield so the goroutine calling cancel can run
+						// even on a single-CPU scheduler; the inline step
+						// path never yields.
+						runtime.Gosched()
 						if err := cfg.Ctx.Err(); err != nil {
 							return nil, err
 						}

@@ -22,7 +22,8 @@ import (
 var BufferDiscipline = &Analyzer{
 	Name: "bufferdiscipline",
 	Doc: "cell rules must read generation g−1 and write generation g only: no writes " +
-		"through Field.cur, no element reads of Field.next, no Field access from Rule methods",
+		"through Field.cur, no element reads of Field.next, no Field access from Rule methods, " +
+		"and bulk kernels must read cur, write next, and never alias either buffer",
 	Run: runBufferDiscipline,
 }
 
@@ -50,6 +51,7 @@ func runBufferDiscipline(pass *Pass) {
 		checkFieldBuffers(pass)
 	}
 	checkRulePurity(pass)
+	checkKernelDiscipline(pass)
 }
 
 // checkFieldBuffers audits every direct cur/next access inside package
@@ -134,6 +136,12 @@ func checkFieldBuffers(pass *Pass) {
 				if isBuiltin(info, n, "len") || isBuiltin(info, n, "cap") {
 					return true
 				}
+				// Invoking a bulk kernel is the sanctioned hand-off of
+				// the raw buffers: the kernel body is itself audited by
+				// checkKernelDiscipline.
+				if isNamedType(info.TypeOf(n.Fun), "gca", "Kernel") {
+					return true
+				}
 				for _, arg := range n.Args {
 					if bufferOf(info, aliases, arg, curVar, nextVar) == nextVar {
 						pass.Reportf(arg.Pos(), "next-read",
@@ -185,6 +193,193 @@ func fieldBufferVars(pkg *Package) (cur, next *types.Var) {
 		}
 	}
 	return cur, next
+}
+
+// checkKernelDiscipline audits bulk-kernel bodies in every simulator
+// package. A kernel is any function — declaration or literal — whose
+// parameter list carries slice parameters named cur and next (the
+// gca.Kernel contract). Inside one:
+//
+//   - cur is read-only: no element writes, no use as the copy destination;
+//   - next is write-only: no element reads, no ranging, no use as a copy
+//     source;
+//   - neither buffer may be aliased: not rebound to a variable, returned,
+//     or passed to another function (the copy/len/cap builtins excepted),
+//     because an escaped buffer outlives the step that owns it.
+func checkKernelDiscipline(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var body *ast.BlockStmt
+			var where string
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ft, body, where = fn.Type, fn.Body, fn.Name.Name
+			case *ast.FuncLit:
+				ft, body, where = fn.Type, fn.Body, "kernel literal"
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			curObj, nextObj := kernelBufferParams(info, ft)
+			if curObj == nil || nextObj == nil {
+				return true
+			}
+			checkKernelBody(pass, info, body, where, curObj, nextObj)
+			return true
+		})
+	}
+}
+
+// kernelBufferParams returns the parameter objects named cur and next
+// when both are slice-typed, i.e. when the function has the kernel shape.
+func kernelBufferParams(info *types.Info, ft *ast.FuncType) (cur, next types.Object) {
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if _, ok := obj.Type().Underlying().(*types.Slice); !ok {
+				continue
+			}
+			switch name.Name {
+			case "cur":
+				cur = obj
+			case "next":
+				next = obj
+			}
+		}
+	}
+	return cur, next
+}
+
+// checkKernelBody walks one kernel body enforcing the read-cur/write-next
+// discipline over the raw buffer parameters.
+func checkKernelBody(pass *Pass, info *types.Info, body *ast.BlockStmt, where string, curObj, nextObj types.Object) {
+	// paramOf resolves an expression to the buffer parameter it is rooted
+	// in: the bare identifier, an index, or a slice of it.
+	paramOf := func(expr ast.Expr) types.Object {
+		for {
+			switch e := ast.Unparen(expr).(type) {
+			case *ast.Ident:
+				switch info.Uses[e] {
+				case curObj:
+					return curObj
+				case nextObj:
+					return nextObj
+				}
+				return nil
+			case *ast.IndexExpr:
+				expr = e.X
+			case *ast.SliceExpr:
+				expr = e.X
+			default:
+				return nil
+			}
+		}
+	}
+	isBare := func(expr ast.Expr) types.Object {
+		if id, ok := ast.Unparen(expr).(*ast.Ident); ok {
+			switch info.Uses[id] {
+			case curObj:
+				return curObj
+			case nextObj:
+				return nextObj
+			}
+		}
+		return nil
+	}
+
+	writeTargets := map[ast.Expr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				writeTargets[ast.Unparen(lhs)] = true
+			}
+		case *ast.IncDecStmt:
+			writeTargets[ast.Unparen(n.X)] = true
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				lhs = ast.Unparen(lhs)
+				base := lhs
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					base = ix.X
+				}
+				if paramOf(base) == curObj {
+					pass.Reportf(lhs.Pos(), "kernel-cur-write",
+						"%s writes the current-generation buffer via %s; kernels must read cur and write only next",
+						where, exprString(lhs))
+				}
+			}
+			for _, rhs := range n.Rhs {
+				if obj := isBare(rhs); obj != nil {
+					pass.Reportf(rhs.Pos(), "kernel-alias",
+						"%s aliases the %s buffer into a variable; kernels must not retain the raw buffers beyond the call",
+						where, obj.Name())
+				}
+			}
+		case *ast.IndexExpr:
+			if writeTargets[n] {
+				return true
+			}
+			if paramOf(n.X) == nextObj {
+				pass.Reportf(n.Pos(), "kernel-next-read",
+					"%s reads an element of the next-generation buffer via %s; kernels must compute generation g from generation g−1 (cur) only",
+					where, exprString(n))
+			}
+		case *ast.RangeStmt:
+			if isBare(n.X) == nextObj {
+				pass.Reportf(n.X.Pos(), "kernel-next-read",
+					"%s ranges over the next-generation buffer; kernels must compute generation g from generation g−1 (cur) only",
+					where)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if obj := isBare(r); obj != nil {
+					pass.Reportf(r.Pos(), "kernel-alias",
+						"%s returns the %s buffer; kernels must not let the raw buffers escape the step",
+						where, obj.Name())
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltin(info, n, "len") || isBuiltin(info, n, "cap") {
+				return true
+			}
+			if isBuiltin(info, n, "copy") && len(n.Args) == 2 {
+				// copy(next[...], cur[...]) is the sanctioned bulk move;
+				// cur as the destination or next as the source inverts
+				// the buffer roles.
+				if paramOf(n.Args[0]) == curObj {
+					pass.Reportf(n.Args[0].Pos(), "kernel-cur-write",
+						"%s copies into the current-generation buffer; kernels must read cur and write only next", where)
+				}
+				if paramOf(n.Args[1]) == nextObj {
+					pass.Reportf(n.Args[1].Pos(), "kernel-next-read",
+						"%s copies out of the next-generation buffer; kernels must compute generation g from generation g−1 (cur) only", where)
+				}
+				return true
+			}
+			for _, arg := range n.Args {
+				if obj := paramOf(arg); obj != nil {
+					pass.Reportf(arg.Pos(), "kernel-alias",
+						"%s passes the %s buffer to %s; kernels must not let the raw buffers escape (only copy/len/cap may receive them)",
+						where, obj.Name(), exprString(n.Fun))
+				}
+			}
+		}
+		return true
+	})
 }
 
 // checkRulePurity flags any reference to a gca.Field from a method

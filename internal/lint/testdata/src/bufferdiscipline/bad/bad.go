@@ -38,6 +38,35 @@ func leak(f *Field) {
 
 func consume([]Cell) {}
 
+// Kernel mirrors the real gca.Kernel contract: bulk generation
+// evaluators receive the raw buffers and must read cur / write next.
+type Kernel func(lo, hi int, cur, next, a []Value) (int, int, error)
+
+// badKernel violates the kernel discipline in every way the analyzer
+// must catch.
+func badKernel(lo, hi int, cur, next, a []Value) (int, int, error) {
+	cur[lo] = 1               // want "writes the current-generation buffer"
+	_ = next[lo]              // want "reads an element of the next-generation buffer"
+	copy(cur[lo:hi], a[lo:])  // want "copies into the current-generation buffer"
+	copy(a[lo:hi], next[lo:]) // want "copies out of the next-generation buffer"
+	leaked := next            // want "aliases the next buffer"
+	_ = leaked
+	consumeValues(cur) // want "passes the cur buffer"
+	for i := lo; i < hi; i++ {
+		next[i] = a[i]
+	}
+	return 0, 0, nil
+}
+
+func escapeKernel(lo, hi int, cur, next []Value) []Value {
+	for i := lo; i < hi; i++ {
+		next[i] = cur[i]
+	}
+	return next // want "returns the next buffer"
+}
+
+func consumeValues([]Value) {}
+
 type badRule struct{ f *Field }
 
 func (r badRule) Pointer(i int, self Cell) int {

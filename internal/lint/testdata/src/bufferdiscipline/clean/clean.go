@@ -1,6 +1,6 @@
 // Package gca is a clean fixture: the real machine's idioms — read the
-// current buffer, write the next buffer, commit with swap — must pass
-// without a single diagnostic.
+// current buffer, write the next buffer, commit with swap, hand the raw
+// buffers to a bulk kernel — must pass without a single diagnostic.
 package gca
 
 type Value int64
@@ -10,41 +10,62 @@ type Cell struct {
 	A Value
 }
 
+// Field mirrors the real struct-of-arrays field: double-buffered data
+// plus a static auxiliary slice.
 type Field struct {
-	cur, next []Cell
+	cur, next []Value
+	a         []Value
 }
 
 func NewField(size int) *Field {
-	return &Field{cur: make([]Cell, size), next: make([]Cell, size)}
+	return &Field{cur: make([]Value, size), next: make([]Value, size), a: make([]Value, size)}
 }
 
 func (f *Field) Len() int               { return len(f.cur) }
-func (f *Field) Cell(i int) Cell        { return f.cur[i] }
-func (f *Field) SetCell(i int, c Cell)  { f.cur[i] = c }
-func (f *Field) SetData(i int, d Value) { f.cur[i].D = d }
+func (f *Field) Cell(i int) Cell        { return Cell{D: f.cur[i], A: f.a[i]} }
+func (f *Field) SetCell(i int, c Cell)  { f.cur[i] = c.D; f.a[i] = c.A }
+func (f *Field) SetData(i int, d Value) { f.cur[i] = d }
 func (f *Field) swap()                  { f.cur, f.next = f.next, f.cur }
 
 func (f *Field) Snapshot(dst []Value) []Value {
-	for _, c := range f.cur {
-		dst = append(dst, c.D)
-	}
-	return dst
+	return append(dst, f.cur...)
 }
+
+// Kernel mirrors the real gca.Kernel contract.
+type Kernel func(lo, hi int, cur, next, a []Value) (int, int, error)
 
 type Machine struct {
 	field *Field
 }
 
-// runRange is the sanctioned step shape: element reads from cur,
-// element writes to next.
-func (m *Machine) runRange(lo, hi int) {
+// runRange is the sanctioned step shape: element reads from cur, element
+// writes to next, and the raw-buffer hand-off to a Kernel-typed value.
+func (m *Machine) runRange(k Kernel, lo, hi int) {
 	cur := m.field.cur
 	next := m.field.next
+	if k != nil {
+		_, _, _ = k(lo, hi, cur, next, m.field.a)
+		return
+	}
 	for i := lo; i < hi; i++ {
-		self := cur[i]
-		next[i] = Cell{D: self.D + 1, A: self.A}
+		next[i] = cur[i] + 1
 	}
 	_ = len(next)
+}
+
+// goodKernel is the sanctioned kernel shape: element reads of cur and a,
+// element writes and copy-into of next, len allowed.
+func goodKernel(lo, hi int, cur, next, a []Value) (int, int, error) {
+	active := 0
+	copy(next[lo:hi], cur[lo:hi])
+	for i := lo; i < hi && i < len(cur); i++ {
+		v := cur[i] + a[i]
+		next[i] = v
+		if v != cur[i] {
+			active++
+		}
+	}
+	return active, hi - lo, nil
 }
 
 type goodRule struct{ n int }

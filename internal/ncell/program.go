@@ -30,6 +30,7 @@ package ncell
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"gcacc/internal/gca"
 	"gcacc/internal/graph"
@@ -271,6 +272,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		mopts = append(mopts, gca.WithCongestion())
 	}
 	machine := gca.NewMachine(field, rule{n: n, adj: g.Adjacency()}, mopts...)
+	defer machine.Close()
 
 	iters := opt.Iterations
 	if iters <= 0 {
@@ -279,6 +281,9 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	res := &Result{N: n, Iterations: iters}
 	step := func(ctx gca.Context) error {
 		if opt.Ctx != nil {
+			// Yield so the goroutine calling cancel can run even on a
+			// single-CPU scheduler; the inline step path never yields.
+			runtime.Gosched()
 			if err := opt.Ctx.Err(); err != nil {
 				return fmt.Errorf("ncell: iteration %d phase %d: %w",
 					ctx.Iteration, ctx.Generation, err)

@@ -64,6 +64,7 @@ func runClosureMachine(field *gca.Field, n int, opt GCAOptions) (*GCAResult, err
 		mopts = append(mopts, gca.WithCongestion())
 	}
 	machine := gca.NewMachine(field, tcRule{n: n}, mopts...)
+	defer machine.Close()
 
 	res := &GCAResult{Squarings: log2Ceil(n)}
 	step := func(ctx gca.Context) error {
