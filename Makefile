@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race lint fmt-check check verify fuzz-smoke bench bench-json bench-smoke serve
+.PHONY: all build vet test test-race lint fmt-check check verify chaos-smoke fuzz-smoke bench bench-json bench-smoke serve
 
 all: check
 
@@ -35,12 +35,22 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 
-check: build vet test test-race lint
+check: build vet test test-race lint chaos-smoke
 
 # Cross-engine conformance harness (differential + metamorphic + analytic
 # oracles over the deterministic corpus). See TESTING.md.
 verify:
 	$(GO) run ./cmd/gca-verify -n 32 -seed 1
+
+# Chaos conformance tier: the seeded fault-injection soak under the race
+# detector — every successful response under injected step errors,
+# delays and stalls must equal union-find ground truth, and the retry/
+# breaker/fallback machinery must demonstrably fire. Override
+# CHAOS_REQUESTS (and GCACC_CHAOS_N / GCACC_CHAOS_SEED) to scale the
+# soak. See TESTING.md "Chaos".
+CHAOS_REQUESTS ?= 400
+chaos-smoke:
+	GCACC_CHAOS_REQUESTS=$(CHAOS_REQUESTS) $(GO) test -race -count=1 -run '^TestChaosSoak$$' ./internal/verify
 
 # Mutate each fuzz target briefly on top of the checked-in seed corpora.
 FUZZTIME ?= 10s

@@ -9,6 +9,13 @@
 // With -distinct k the workers cycle through k different random graphs,
 // so a cache of ≥ k entries converges to a pure hit workload; -nocache
 // forces an engine run per request instead.
+//
+// With -fault the given schedule (internal/fault spec grammar) is
+// forwarded per request via the `fault` query parameter, which the server
+// only accepts when started with -chaos. The report then splits latency
+// percentiles into clean vs degraded responses and adds the server's
+// resilience counters — the degraded-mode p50/p99 the chaos tier
+// documents.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strings"
@@ -44,6 +52,7 @@ func main() {
 		format      = flag.String("format", "edges", "wire format: edges|matrix")
 		seed        = flag.Int64("seed", 1, "graph generator seed")
 		nocache     = flag.Bool("nocache", false, "ask the server to bypass its result cache")
+		faultSpec   = flag.String("fault", "", "per-request fault schedule forwarded to the server (needs gca-serve -chaos), e.g. seed=7,steperr=0.01")
 	)
 	flag.Parse()
 
@@ -76,9 +85,12 @@ func main() {
 		bodies[i] = buf.Bytes()
 	}
 
-	url := strings.TrimSuffix(*addr, "/") + "/v1/components?labels=0&format=" + *format + "&engine=" + *engine
+	target := strings.TrimSuffix(*addr, "/") + "/v1/components?labels=0&format=" + *format + "&engine=" + *engine
 	if *nocache {
-		url += "&nocache=1"
+		target += "&nocache=1"
+	}
+	if *faultSpec != "" {
+		target += "&fault=" + url.QueryEscape(*faultSpec)
 	}
 	client := &http.Client{Timeout: 60 * time.Second}
 
@@ -91,8 +103,11 @@ func main() {
 	}
 
 	type workerStats struct {
-		latencies []time.Duration
+		latencies []time.Duration // clean 200s
+		degLat    []time.Duration // degraded 200s (fallback/demoted runs)
 		ok        int
+		degraded  int
+		retries   int
 		rejected  int // 429
 		failed    int // transport errors and other non-200s
 	}
@@ -119,55 +134,71 @@ func main() {
 				}
 				body := bodies[int(i)%len(bodies)]
 				t0 := time.Now()
-				resp, err := client.Post(url, "text/plain", bytes.NewReader(body))
+				resp, err := client.Post(target, "text/plain", bytes.NewReader(body))
 				lat := time.Since(t0)
 				if err != nil {
 					st.failed++
 					continue
 				}
-				_, _ = io.Copy(io.Discard, resp.Body)
-				_ = resp.Body.Close()
 				switch resp.StatusCode {
 				case http.StatusOK:
 					st.ok++
-					st.latencies = append(st.latencies, lat)
+					if *faultSpec != "" {
+						// Under faults the body tells clean from degraded;
+						// decoding cost only taxes the chaos mode.
+						var r struct {
+							Degraded bool `json:"degraded"`
+							Retries  int  `json:"retries"`
+						}
+						if json.NewDecoder(resp.Body).Decode(&r) == nil && r.Degraded {
+							st.degraded++
+							st.degLat = append(st.degLat, lat)
+						} else {
+							st.latencies = append(st.latencies, lat)
+						}
+						st.retries += r.Retries
+					} else {
+						st.latencies = append(st.latencies, lat)
+					}
 				case http.StatusTooManyRequests:
 					st.rejected++
 				default:
 					st.failed++
 				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
 			}
 		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var all []time.Duration
-	ok, rejected, failed := 0, 0, 0
+	var clean, deg []time.Duration
+	ok, degraded, retries, rejected, failed := 0, 0, 0, 0, 0
 	for i := range stats {
-		all = append(all, stats[i].latencies...)
+		clean = append(clean, stats[i].latencies...)
+		deg = append(deg, stats[i].degLat...)
 		ok += stats[i].ok
+		degraded += stats[i].degraded
+		retries += stats[i].retries
 		rejected += stats[i].rejected
 		failed += stats[i].failed
 	}
-	fmt.Printf("# loadgen engine=%s vertices=%d p=%.3f distinct=%d c=%d nocache=%v\n",
-		*engine, *vertices, *prob, *distinct, *concurrency, *nocache)
+	fmt.Printf("# loadgen engine=%s vertices=%d p=%.3f distinct=%d c=%d nocache=%v fault=%q\n",
+		*engine, *vertices, *prob, *distinct, *concurrency, *nocache, *faultSpec)
 	fmt.Printf("requests=%d ok=%d rejected429=%d failed=%d elapsed=%.2fs throughput=%.1f req/s\n",
 		ok+rejected+failed, ok, rejected, failed, elapsed.Seconds(),
 		float64(ok)/elapsed.Seconds())
-	if len(all) > 0 {
-		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-		var sum time.Duration
-		for _, d := range all {
-			sum += d
-		}
-		fmt.Printf("latency: p50=%s p90=%s p99=%s mean=%s min=%s max=%s\n",
-			quantile(all, 0.50), quantile(all, 0.90), quantile(all, 0.99),
-			(sum / time.Duration(len(all))).Round(time.Microsecond),
-			all[0], all[len(all)-1])
+	if *faultSpec != "" {
+		fmt.Printf("chaos: degraded=%d clean=%d retries=%d\n", degraded, ok-degraded, retries)
+		printLatency("latency(clean)", clean)
+		printLatency("latency(degraded)", deg)
+	} else {
+		printLatency("latency", clean)
 	}
 
-	// Server-side view: cache effectiveness and queue behaviour.
+	// Server-side view: cache effectiveness, queue behaviour and — under
+	// faults — the resilience counters.
 	if resp, err := client.Get(strings.TrimSuffix(*addr, "/") + "/v1/stats"); err == nil {
 		defer func() { _ = resp.Body.Close() }()
 		var st service.Stats
@@ -176,8 +207,33 @@ func main() {
 				st.Completed, st.CacheHits, st.CacheMisses, st.Coalesced, st.RejectedFull, st.Generations)
 			fmt.Printf("server: queue_wait p50=%dµs p99=%dµs · run p50=%dµs p99=%dµs\n",
 				st.QueueWait.P50US, st.QueueWait.P99US, st.RunTime.P50US, st.RunTime.P99US)
+			if *faultSpec != "" || st.Retries > 0 || st.BreakerTrips > 0 || st.DegradedOverload > 0 {
+				fmt.Printf("server: retries=%d breaker_trips=%d breaker_open=%d fallback=%d degraded_overload=%d panics=%d\n",
+					st.Retries, st.BreakerTrips, st.BreakerOpen, st.FallbackBreaker, st.DegradedOverload, st.EnginePanics)
+			}
+			if st.Faults != nil {
+				fmt.Printf("server: injected step_errors=%d step_delays=%d worker_stalls=%d over %d runs\n",
+					st.Faults.StepErrors, st.Faults.StepDelays, st.Faults.WorkerStalls, st.Faults.Runs)
+			}
 		}
 	}
+}
+
+// printLatency prints one percentile line, or nothing for an empty set.
+func printLatency(label string, lats []time.Duration) {
+	if len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum time.Duration
+	for _, d := range lats {
+		sum += d
+	}
+	fmt.Printf("%s: n=%d p50=%s p90=%s p99=%s mean=%s min=%s max=%s\n",
+		label, len(lats),
+		quantile(lats, 0.50), quantile(lats, 0.90), quantile(lats, 0.99),
+		(sum / time.Duration(len(lats))).Round(time.Microsecond),
+		lats[0], lats[len(lats)-1])
 }
 
 func quantile(sorted []time.Duration, q float64) time.Duration {

@@ -11,12 +11,27 @@
 //	    Body is a graph in the "edges" or "matrix" text format of
 //	    internal/graph/io.go. Returns the labelling as JSON. A malformed
 //	    body or unknown engine/format answers 400, a full queue 429, an
-//	    oversized body or graph 413, an expired deadline 504, and a client
-//	    that disconnects mid-request 499 (nginx's "client closed request";
+//	    oversized body or graph 413, an expired deadline 504, an open
+//	    circuit breaker without fallback 503, and a client that
+//	    disconnects mid-request 499 (nginx's "client closed request";
 //	    only the access log sees it).
-//	GET  /v1/stats      JSON metrics snapshot (queue, cache, latencies).
+//	GET  /v1/stats      JSON metrics snapshot (queue, cache, latencies,
+//	    retries, breaker state, fallbacks, injected-fault counters).
 //	GET  /healthz       liveness probe.
 //	GET  /debug/vars    the same snapshot via expvar.
+//
+// Resilience knobs: -retries/-retry-base bound retry of transient engine
+// failures, -breaker/-breaker-cooldown configure the per-engine circuit
+// breaker, -fallback degrades to the sequential engine when a breaker is
+// open, -degrade-depth demotes jobs to sequential under queue pressure,
+// and -max-timeout caps every request's deadline budget. A degraded
+// response reports "degraded": true and the engine that actually ran.
+//
+// Chaos mode (testing the above): -fault injects a deterministic
+// service-wide fault schedule (internal/fault spec grammar), and -chaos
+// additionally accepts a per-request schedule via the `fault` query
+// parameter (rejected with 400 when -chaos is off, so production
+// deployments cannot be fault-injected from outside).
 //
 // SIGINT/SIGTERM drain in-flight jobs before exit.
 package main
@@ -37,6 +52,7 @@ import (
 	"time"
 
 	"gcacc"
+	"gcacc/internal/fault"
 	"gcacc/internal/graph"
 	"gcacc/internal/service"
 )
@@ -49,23 +65,54 @@ func main() {
 		simWorkers  = flag.Int("sim-workers", 0, "total simulator goroutine budget shared by the pool (0 = GOMAXPROCS)")
 		cacheSize   = flag.Int("cache", 512, "result cache entries (negative disables)")
 		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request deadline (0 = none)")
+		maxTimeout  = flag.Duration("max-timeout", 0, "cap on every request's deadline budget (0 = none)")
 		maxVertices = flag.Int("max-vertices", graph.MaxParseVertices, "largest admitted graph")
 		maxBody     = flag.Int64("max-body", 64<<20, "largest accepted request body in bytes")
+
+		retries         = flag.Int("retries", 0, "max retries of transient engine failures per request")
+		retryBase       = flag.Duration("retry-base", time.Millisecond, "first retry backoff (doubled per retry)")
+		breakerN        = flag.Int("breaker", 0, "consecutive failures tripping an engine's circuit breaker (0 = off)")
+		breakerCooldown = flag.Duration("breaker-cooldown", 500*time.Millisecond, "open-breaker cooldown before a half-open probe")
+		fallback        = flag.Bool("fallback", false, "degrade to the sequential engine when a breaker is open")
+		degradeDepth    = flag.Int("degrade-depth", 0, "queue depth at which jobs demote to the sequential engine (0 = off)")
+
+		faultSpec = flag.String("fault", "", "service-wide fault-injection schedule, e.g. seed=7,steperr=0.01,stepdelay=0.05:200us (empty = none)")
+		chaos     = flag.Bool("chaos", false, "accept per-request fault schedules via the `fault` query parameter")
+		seed      = flag.Int64("seed", 0, "seed for the deterministic retry-backoff jitter")
 	)
 	flag.Parse()
 
+	var inj *fault.Injector
+	if *faultSpec != "" {
+		cfg, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			log.Fatalf("gca-serve: -fault: %v", err)
+		}
+		inj = fault.New(cfg)
+		log.Printf("gca-serve: injecting faults: %s", cfg)
+	}
+
 	svc := service.New(service.Config{
-		QueueDepth:     *queueDepth,
-		Workers:        *workers,
-		SimWorkers:     *simWorkers,
-		CacheEntries:   *cacheSize,
-		DefaultTimeout: *timeout,
-		MaxVertices:    *maxVertices,
-		ExpvarName:     "gcacc_service",
+		QueueDepth:         *queueDepth,
+		Workers:            *workers,
+		SimWorkers:         *simWorkers,
+		CacheEntries:       *cacheSize,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTimeout,
+		MaxVertices:        *maxVertices,
+		ExpvarName:         "gcacc_service",
+		Fault:              inj,
+		Seed:               *seed,
+		RetryMax:           *retries,
+		RetryBase:          *retryBase,
+		BreakerThreshold:   *breakerN,
+		BreakerCooldown:    *breakerCooldown,
+		FallbackSequential: *fallback,
+		DegradeDepth:       *degradeDepth,
 	})
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/components", componentsHandler(svc, *maxBody))
+	mux.HandleFunc("POST /v1/components", componentsHandler(svc, *maxBody, *chaos))
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Stats())
 	})
@@ -111,6 +158,8 @@ type componentsResponse struct {
 	Engine      string `json:"engine"`
 	Cached      bool   `json:"cached"`
 	Coalesced   bool   `json:"coalesced"`
+	Degraded    bool   `json:"degraded,omitempty"`
+	Retries     int    `json:"retries,omitempty"`
 	Generations int    `json:"generations,omitempty"`
 	PRAMSteps   int    `json:"pram_steps,omitempty"`
 	WaitUS      int64  `json:"wait_us"`
@@ -118,7 +167,7 @@ type componentsResponse struct {
 	Labels      []int  `json:"labels,omitempty"`
 }
 
-func componentsHandler(svc *service.Service, maxBody int64) http.HandlerFunc {
+func componentsHandler(svc *service.Service, maxBody int64, chaos bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()
 		engineName := q.Get("engine")
@@ -129,6 +178,21 @@ func componentsHandler(svc *service.Service, maxBody int64) http.HandlerFunc {
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
+		}
+
+		var reqInj *fault.Injector
+		if spec := q.Get("fault"); spec != "" {
+			if !chaos {
+				writeError(w, http.StatusBadRequest,
+					errors.New("per-request fault injection requires the server's -chaos flag"))
+				return
+			}
+			cfg, err := fault.ParseSpec(spec)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			reqInj = fault.New(cfg)
 		}
 
 		body := http.MaxBytesReader(w, r.Body, maxBody)
@@ -156,7 +220,8 @@ func componentsHandler(svc *service.Service, maxBody int64) http.HandlerFunc {
 		res, err := svc.Submit(r.Context(), service.Request{
 			Graph:   g,
 			Engine:  eng,
-			NoCache: q.Get("nocache") == "1",
+			NoCache: q.Get("nocache") == "1" || reqInj != nil,
+			Fault:   reqInj,
 		})
 		if err != nil {
 			writeError(w, statusOf(err), err)
@@ -169,6 +234,8 @@ func componentsHandler(svc *service.Service, maxBody int64) http.HandlerFunc {
 			Engine:      res.Engine,
 			Cached:      res.Cached,
 			Coalesced:   res.Coalesced,
+			Degraded:    res.Degraded,
+			Retries:     res.Retries,
 			Generations: res.Generations,
 			PRAMSteps:   res.PRAMSteps,
 			WaitUS:      res.Wait.Microseconds(),
@@ -197,10 +264,12 @@ func statusOf(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, service.ErrTooLarge):
 		return http.StatusRequestEntityTooLarge
-	case errors.Is(err, service.ErrClosed):
+	case errors.Is(err, service.ErrClosed), errors.Is(err, service.ErrBreakerOpen):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, service.ErrInvalidEngine), errors.Is(err, service.ErrNilGraph):
 		return http.StatusBadRequest
+	case errors.Is(err, service.ErrEnginePanic):
+		return http.StatusInternalServerError
 	case errors.Is(err, context.Canceled):
 		return statusClientClosedRequest
 	case errors.Is(err, context.DeadlineExceeded):

@@ -52,7 +52,7 @@ func errorBody(t *testing.T, w *httptest.ResponseRecorder) string {
 }
 
 func TestComponentsHandlerSuccess(t *testing.T) {
-	h := componentsHandler(newTestService(t), 1<<20)
+	h := componentsHandler(newTestService(t), 1<<20, false)
 	w := postComponents(t, h, "", "4 2\n0 1\n2 3\n")
 	if w.Code != http.StatusOK {
 		t.Fatalf("status = %d, want 200 (body %q)", w.Code, w.Body.String())
@@ -76,7 +76,7 @@ func TestComponentsHandlerSuccess(t *testing.T) {
 }
 
 func TestComponentsHandlerUnknownEngine(t *testing.T) {
-	h := componentsHandler(newTestService(t), 1<<20)
+	h := componentsHandler(newTestService(t), 1<<20, false)
 	w := postComponents(t, h, "?engine=quantum", "2 1\n0 1\n")
 	if w.Code != http.StatusBadRequest {
 		t.Fatalf("status = %d, want 400", w.Code)
@@ -87,7 +87,7 @@ func TestComponentsHandlerUnknownEngine(t *testing.T) {
 }
 
 func TestComponentsHandlerUnknownFormat(t *testing.T) {
-	h := componentsHandler(newTestService(t), 1<<20)
+	h := componentsHandler(newTestService(t), 1<<20, false)
 	w := postComponents(t, h, "?format=xml", "2 1\n0 1\n")
 	if w.Code != http.StatusBadRequest {
 		t.Fatalf("status = %d, want 400", w.Code)
@@ -96,7 +96,7 @@ func TestComponentsHandlerUnknownFormat(t *testing.T) {
 }
 
 func TestComponentsHandlerMalformedBody(t *testing.T) {
-	h := componentsHandler(newTestService(t), 1<<20)
+	h := componentsHandler(newTestService(t), 1<<20, false)
 	for _, body := range []string{
 		"this is not a graph",
 		"3 1\n0 9\n", // endpoint out of range
@@ -116,7 +116,7 @@ func TestComponentsHandlerMalformedBody(t *testing.T) {
 func TestComponentsHandlerOversizedBody(t *testing.T) {
 	// A 64-byte cap makes the MaxBytesReader trip mid-parse; the handler
 	// must surface that as 413, not as a generic parse failure.
-	h := componentsHandler(newTestService(t), 64)
+	h := componentsHandler(newTestService(t), 64, false)
 	var b strings.Builder
 	fmt.Fprintf(&b, "40 39\n")
 	for i := 0; i < 39; i++ {
@@ -134,7 +134,7 @@ func TestComponentsHandlerClientDisconnect(t *testing.T) {
 	// context. The handler must answer 499 (client closed request), not
 	// 500: the failure is the client's, and dashboards alerting on 5xx
 	// must not page for it.
-	h := componentsHandler(newTestService(t), 1<<20)
+	h := componentsHandler(newTestService(t), 1<<20, false)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	req := httptest.NewRequest(http.MethodPost, "/v1/components", strings.NewReader("2 1\n0 1\n")).WithContext(ctx)
@@ -151,7 +151,7 @@ func TestComponentsHandlerQueueFullAndClosed(t *testing.T) {
 	// header is reserved for 429.
 	svc := service.New(service.Config{QueueDepth: 1, Workers: 1, MaxVertices: 16})
 	svc.Close()
-	h := componentsHandler(svc, 1<<20)
+	h := componentsHandler(svc, 1<<20, false)
 	w := postComponents(t, h, "", "2 1\n0 1\n")
 	if w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("status = %d, want 503 (body %q)", w.Code, w.Body.String())
@@ -170,8 +170,10 @@ func TestStatusOf(t *testing.T) {
 		{service.ErrQueueFull, http.StatusTooManyRequests},
 		{service.ErrTooLarge, http.StatusRequestEntityTooLarge},
 		{service.ErrClosed, http.StatusServiceUnavailable},
+		{service.ErrBreakerOpen, http.StatusServiceUnavailable},
 		{service.ErrInvalidEngine, http.StatusBadRequest},
 		{service.ErrNilGraph, http.StatusBadRequest},
+		{service.ErrEnginePanic, http.StatusInternalServerError},
 		{context.Canceled, statusClientClosedRequest},
 		{context.DeadlineExceeded, http.StatusGatewayTimeout},
 		{errors.New("mystery"), http.StatusInternalServerError},

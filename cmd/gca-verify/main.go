@@ -34,6 +34,7 @@ func main() {
 		noService   = flag.Bool("no-service", false, "skip the serving-layer path")
 		noMeta      = flag.Bool("no-metamorphic", false, "skip the metamorphic invariant checks")
 		noOracles   = flag.Bool("no-oracles", false, "skip the analytic Table-1/Table-2 oracle checks")
+		faultSpec   = flag.String("fault", "", "add the fault-injected service path with this schedule (e.g. seed=7,steperr=0.01,stepdelay=0.05:200us,stall=0.02:1ms)")
 		workers     = flag.Int("workers", 0, "simulator goroutines per run (0 = GOMAXPROCS)")
 		format      = flag.String("format", "json", "report format: json|text")
 		failuresCap = flag.Int("max-failures", 0, "truncate the failure list in the report (0 = keep all)")
@@ -46,6 +47,7 @@ func main() {
 		Service:     !*noService,
 		Metamorphic: !*noMeta,
 		Oracles:     !*noOracles,
+		FaultSpec:   *faultSpec,
 		Workers:     *workers,
 	}
 	if *enginesCSV != "" {

@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"gcacc/internal/core"
+	"gcacc/internal/fault"
 	"gcacc/internal/graph"
 	"gcacc/internal/hw"
 	"gcacc/internal/msf"
@@ -134,6 +135,13 @@ type Options struct {
 	// CollectStats gathers per-generation activity and congestion
 	// records (GCA engine only).
 	CollectStats bool
+	// Fault, if non-nil and enabled, threads a deterministic
+	// fault-injection schedule (internal/fault) into the stepping engines:
+	// EngineGCA and EngineNCell honour it through gca.StepHooks.
+	// EnginePRAM and EngineHardware have no hook points and ignore it;
+	// EngineSequential is the fallback of last resort and is never
+	// injected, which is what makes degrading to it safe.
+	Fault *fault.Injector
 }
 
 // Report is the detailed result of a run.
@@ -184,6 +192,7 @@ func ConnectedComponentsWithContext(ctx context.Context, g *Graph, opt Options) 
 			Ctx:          ctx,
 			Workers:      opt.Workers,
 			CollectStats: opt.CollectStats,
+			Hooks:        opt.Fault.GCAHooks(ctx),
 		})
 		if err != nil {
 			return nil, err
@@ -214,7 +223,11 @@ func ConnectedComponentsWithContext(ctx context.Context, g *Graph, opt Options) 
 		labels := graph.ConnectedComponentsUnionFind(g)
 		return &Report{Labels: labels, Components: graph.ComponentCount(labels)}, nil
 	case EngineNCell:
-		res, err := ncell.Run(g, ncell.Options{Ctx: ctx, Workers: opt.Workers})
+		res, err := ncell.Run(g, ncell.Options{
+			Ctx:     ctx,
+			Workers: opt.Workers,
+			Hooks:   opt.Fault.GCAHooks(ctx),
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -28,6 +28,10 @@ type Options struct {
 	// Observer, if non-nil, is invoked after every committed
 	// sub-generation with the machine's field and step statistics.
 	Observer gca.Observer
+	// Hooks are optional per-step fault-injection points (latency,
+	// worker stalls, forced transient errors) threaded into the machine;
+	// the zero value injects nothing. See internal/fault.
+	Hooks gca.StepHooks
 	// Iterations overrides the number of outer iterations; 0 selects the
 	// paper's ⌈log₂ n⌉.
 	Iterations int
@@ -87,6 +91,9 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	}
 	if opt.Observer != nil {
 		mopts = append(mopts, gca.WithObserver(opt.Observer))
+	}
+	if opt.Hooks.BeforeStep != nil || opt.Hooks.WorkerStall != nil {
+		mopts = append(mopts, gca.WithStepHooks(opt.Hooks))
 	}
 	machine := gca.NewMachine(field, rule{lay: lay}, mopts...)
 	defer machine.Close()

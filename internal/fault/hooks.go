@@ -1,0 +1,30 @@
+package fault
+
+import (
+	"context"
+
+	"gcacc/internal/gca"
+)
+
+// GCAHooks derives one run's fault schedule and adapts it to the
+// stepping engine's hook points (gca.WithStepHooks). The hooks close
+// over ctx so injected latency and stalls are interruptible by the
+// request's deadline. A nil or disabled injector returns the zero hooks,
+// which the machine treats as "no injection" at nil-check cost.
+func (in *Injector) GCAHooks(ctx context.Context) gca.StepHooks {
+	if in == nil || !in.cfg.Enabled() {
+		return gca.StepHooks{}
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	run := in.NewRun()
+	return gca.StepHooks{
+		BeforeStep: func(c gca.Context) error {
+			return run.BeforeStep(ctx, c.Generation)
+		},
+		WorkerStall: func(c gca.Context, worker int) {
+			run.WorkerStall(ctx, worker)
+		},
+	}
+}

@@ -38,6 +38,7 @@ type Machine struct {
 	collectCongestion bool
 	capturePointers   bool
 	observer          Observer
+	hooks             StepHooks
 
 	tick int64
 
@@ -94,6 +95,31 @@ func WithPointerCapture() Option {
 // WithObserver attaches an observer notified after every step.
 func WithObserver(o Observer) Option {
 	return func(m *Machine) { m.observer = o }
+}
+
+// StepHooks are optional per-step fault-injection points. The zero value
+// disables them at the cost of one nil check per step and one per shard
+// evaluation — the chaos tier (internal/fault) threads its deterministic
+// injector through them, and the fast-path benchmarks run with them
+// unset. Hooks must not touch the Field: they model environmental
+// faults (latency, stalls, transient failures), not state mutations.
+type StepHooks struct {
+	// BeforeStep runs before the step's shards are evaluated; it may
+	// block (injected latency) and may return a non-nil error, which
+	// aborts the step before any cell is read — the field still holds
+	// the previous generation and the tick does not advance, so the
+	// machine state stays consistent for the caller's error handling.
+	BeforeStep func(ctx Context) error
+	// WorkerStall runs in each shard-evaluating goroutine before it
+	// scans its range; it may block. Stalls delay the step barrier but
+	// never change results — each generation remains a pure function of
+	// the previous field regardless of shard timing.
+	WorkerStall func(ctx Context, worker int)
+}
+
+// WithStepHooks attaches fault-injection hooks to the machine.
+func WithStepHooks(h StepHooks) Option {
+	return func(m *Machine) { m.hooks = h }
 }
 
 // NewMachine builds a machine over the given field and rule.
@@ -219,6 +245,11 @@ func (m *Machine) Step(ctx Context) (*StepStats, error) {
 		return nil, errClosed
 	}
 	ctx.Tick = m.tick
+	if m.hooks.BeforeStep != nil {
+		if err := m.hooks.BeforeStep(ctx); err != nil {
+			return nil, err
+		}
+	}
 	m.stats.Ctx = ctx
 	m.stats.Active = 0
 	m.stats.TotalReads = 0
@@ -306,6 +337,9 @@ type rangeResult struct {
 // step's bulk kernel when one is set and the generic per-cell
 // Pointer/Update path otherwise.
 func (m *Machine) runRange(ctx Context, lo, hi, worker int) rangeResult {
+	if m.hooks.WorkerStall != nil {
+		m.hooks.WorkerStall(ctx, worker)
+	}
 	cur := m.field.cur
 	next := m.field.next
 	aux := m.field.a

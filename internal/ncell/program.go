@@ -228,6 +228,9 @@ type Options struct {
 	Workers int
 	// CollectStats gathers per-generation records.
 	CollectStats bool
+	// Hooks are optional per-step fault-injection points; the zero value
+	// injects nothing. See internal/fault.
+	Hooks gca.StepHooks
 	// Iterations overrides the outer iteration count (0 = ⌈log₂ n⌉).
 	Iterations int
 }
@@ -270,6 +273,9 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	mopts = append(mopts, gca.WithWorkers(opt.Workers))
 	if opt.CollectStats {
 		mopts = append(mopts, gca.WithCongestion())
+	}
+	if opt.Hooks.BeforeStep != nil || opt.Hooks.WorkerStall != nil {
+		mopts = append(mopts, gca.WithStepHooks(opt.Hooks))
 	}
 	machine := gca.NewMachine(field, rule{n: n, adj: g.Adjacency()}, mopts...)
 	defer machine.Close()

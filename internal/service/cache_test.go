@@ -1,0 +1,208 @@
+package service
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gcacc"
+	"gcacc/internal/graph"
+)
+
+// TestConcurrentDistinctKeysOneFillEach extends the coalescing contract
+// across several keys at once: m concurrent identical requests per each
+// of k distinct graphs collapse to exactly k engine runs, every caller
+// gets the right labels, and the cache ends up holding exactly the k
+// results. Run under -race this also exercises the admission lock's
+// lookup→join→fill window concurrently on multiple keys.
+func TestConcurrentDistinctKeysOneFillEach(t *testing.T) {
+	const k, m = 6, 12
+	svc := New(Config{Workers: 4, QueueDepth: k * m, CacheEntries: 32})
+	defer svc.Close()
+
+	graphs := make([]*graph.Graph, k)
+	wants := make([][]int, k)
+	for i := range graphs {
+		graphs[i] = graph.Gnp(40, 0.07, rand.New(rand.NewSource(int64(100+i))))
+		wants[i] = graph.ConnectedComponentsUnionFind(graphs[i])
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, k*m)
+	results := make([]*Result, k*m)
+	for i := 0; i < k; i++ {
+		for j := 0; j < m; j++ {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				idx := i*m + j
+				results[idx], errs[idx] = svc.Submit(context.Background(),
+					Request{Graph: graphs[i], Engine: gcacc.EngineGCA})
+			}(i, j)
+		}
+	}
+	wg.Wait()
+
+	for i := 0; i < k; i++ {
+		for j := 0; j < m; j++ {
+			idx := i*m + j
+			if errs[idx] != nil {
+				t.Fatalf("request (%d,%d): %v", i, j, errs[idx])
+			}
+			for v, l := range results[idx].Labels {
+				if l != wants[i][v] {
+					t.Fatalf("request (%d,%d): label[%d] = %d, want %d", i, j, v, l, wants[i][v])
+				}
+			}
+		}
+	}
+	st := svc.Stats()
+	if st.CacheMisses != k || st.Completed != k {
+		t.Errorf("misses=%d completed=%d, want %d engine runs for %d keys",
+			st.CacheMisses, st.Completed, k, k)
+	}
+	if st.CacheHits+st.Coalesced != int64(k*(m-1)) {
+		t.Errorf("hits(%d) + coalesced(%d) = %d, want %d",
+			st.CacheHits, st.Coalesced, st.CacheHits+st.Coalesced, k*(m-1))
+	}
+	if st.CacheLen != k {
+		t.Errorf("cache holds %d entries, want %d", st.CacheLen, k)
+	}
+}
+
+// key returns a manufactured cache key with fingerprint byte b and the
+// given engine.
+func key(b byte, e gcacc.Engine) cacheKey {
+	var fp [32]byte
+	fp[0] = b
+	return cacheKey{fp: fp, engine: e}
+}
+
+// TestLRUCacheEvictionOrder pins the eviction policy at the data
+// structure level: least-recently-used goes first, and both get and
+// re-add refresh recency.
+func TestLRUCacheEvictionOrder(t *testing.T) {
+	res := func(n int) *Result { return &Result{Components: n} }
+
+	cases := []struct {
+		name string
+		cap  int
+		ops  func(c *lruCache) int // returns total evictions
+		live []byte                // fingerprint bytes expected present, in any order
+		gone []byte
+	}{
+		{
+			name: "insertion order evicts oldest",
+			cap:  2,
+			ops: func(c *lruCache) int {
+				return c.add(key(1, 0), res(1)) + c.add(key(2, 0), res(2)) + c.add(key(3, 0), res(3))
+			},
+			live: []byte{2, 3},
+			gone: []byte{1},
+		},
+		{
+			name: "get refreshes recency",
+			cap:  2,
+			ops: func(c *lruCache) int {
+				n := c.add(key(1, 0), res(1)) + c.add(key(2, 0), res(2))
+				c.get(key(1, 0)) // 1 becomes most recent; 2 is now the victim
+				return n + c.add(key(3, 0), res(3))
+			},
+			live: []byte{1, 3},
+			gone: []byte{2},
+		},
+		{
+			name: "re-add refreshes recency without growing",
+			cap:  2,
+			ops: func(c *lruCache) int {
+				n := c.add(key(1, 0), res(1)) + c.add(key(2, 0), res(2))
+				n += c.add(key(1, 0), res(10)) // refresh, not insert
+				return n + c.add(key(3, 0), res(3))
+			},
+			live: []byte{1, 3},
+			gone: []byte{2},
+		},
+		{
+			name: "capacity one keeps only the newest",
+			cap:  1,
+			ops: func(c *lruCache) int {
+				return c.add(key(1, 0), res(1)) + c.add(key(2, 0), res(2)) + c.add(key(3, 0), res(3))
+			},
+			live: []byte{3},
+			gone: []byte{1, 2},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newLRUCache(tc.cap)
+			evicted := tc.ops(c)
+			if c.len() > tc.cap {
+				t.Fatalf("len = %d exceeds capacity %d", c.len(), tc.cap)
+			}
+			if want := len(tc.gone); evicted != want {
+				t.Errorf("evictions = %d, want %d", evicted, want)
+			}
+			for _, b := range tc.live {
+				if _, ok := c.get(key(b, 0)); !ok {
+					t.Errorf("key %d missing, want present", b)
+				}
+			}
+			for _, b := range tc.gone {
+				if _, ok := c.get(key(b, 0)); ok {
+					t.Errorf("key %d present, want evicted", b)
+				}
+			}
+		})
+	}
+}
+
+// TestLRUCacheReAddReplacesResult checks a re-added key serves the new
+// result — the flight-retirement path overwrites, never duplicates.
+func TestLRUCacheReAddReplacesResult(t *testing.T) {
+	c := newLRUCache(4)
+	c.add(key(1, 0), &Result{Components: 1})
+	c.add(key(1, 0), &Result{Components: 2})
+	if c.len() != 1 {
+		t.Fatalf("len = %d after re-add, want 1", c.len())
+	}
+	got, ok := c.get(key(1, 0))
+	if !ok || got.Components != 2 {
+		t.Fatalf("get = %+v, %v; want the replacement result", got, ok)
+	}
+}
+
+// TestCacheKeyEngineDistinguishes pins the collision semantics of the
+// key: the same graph fingerprint under different engines is two
+// distinct entries (label vectors agree by conformance, but provenance
+// fields differ), while distinct fingerprints never alias.
+func TestCacheKeyEngineDistinguishes(t *testing.T) {
+	c := newLRUCache(8)
+	c.add(key(1, gcacc.EngineGCA), &Result{Engine: "gca"})
+	c.add(key(1, gcacc.EngineSequential), &Result{Engine: "sequential"})
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2 — engine must be part of the key", c.len())
+	}
+	if got, ok := c.get(key(1, gcacc.EngineGCA)); !ok || got.Engine != "gca" {
+		t.Fatalf("gca entry = %+v, %v", got, ok)
+	}
+	if got, ok := c.get(key(1, gcacc.EngineSequential)); !ok || got.Engine != "sequential" {
+		t.Fatalf("sequential entry = %+v, %v", got, ok)
+	}
+	if _, ok := c.get(key(2, gcacc.EngineGCA)); ok {
+		t.Fatal("unrelated fingerprint hit the cache")
+	}
+
+	// End to end: the same graph on two engines fills two entries.
+	svc := New(Config{Workers: 2, CacheEntries: 8})
+	defer svc.Close()
+	g := graph.Star(9)
+	for _, e := range []gcacc.Engine{gcacc.EngineGCA, gcacc.EngineSequential} {
+		if _, err := svc.Submit(context.Background(), Request{Graph: g, Engine: e}); err != nil {
+			t.Fatalf("engine %v: %v", e, err)
+		}
+	}
+	if st := svc.Stats(); st.CacheLen != 2 || st.CacheMisses != 2 {
+		t.Errorf("cache len=%d misses=%d, want 2/2", st.CacheLen, st.CacheMisses)
+	}
+}

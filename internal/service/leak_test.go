@@ -1,0 +1,74 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"gcacc"
+	"gcacc/internal/graph"
+)
+
+// TestNoGoroutineLeakAfterCancellationStorm audits the cancellation
+// paths: every engine run owns gca.Machine worker goroutines (released
+// by the deferred Machine.Close in core.Run / ncell.Run), and every job
+// holds a context cancel func. A storm of aborted, expired and
+// abandoned requests followed by Close must return the process to its
+// pre-service goroutine count — a leak on any error path shows up here.
+func TestNoGoroutineLeakAfterCancellationStorm(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	svc := New(Config{
+		Workers:        4,
+		QueueDepth:     16,
+		CacheEntries:   8,
+		DefaultTimeout: 50 * time.Millisecond,
+	})
+
+	engines := []gcacc.Engine{gcacc.EngineGCA, gcacc.EngineNCell, gcacc.EnginePRAM, gcacc.EngineSequential}
+	var wg sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			g := graph.Gnp(24+i%16, 0.1, rng)
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(rng.Intn(2000))*time.Microsecond)
+			defer cancel()
+			if i%3 == 0 {
+				// A third of the callers abandon immediately: the job keeps
+				// running on the worker and must still be retired cleanly.
+				cancel()
+			}
+			_, _ = svc.Submit(ctx, Request{
+				Graph:   g,
+				Engine:  engines[i%len(engines)],
+				NoCache: i%2 == 0,
+			})
+		}(i)
+	}
+	wg.Wait()
+	svc.Close()
+
+	// Engine machines release their pools via deferred Close; give the
+	// runtime a moment to retire them all.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= before+2 { // tolerate runtime background goroutines
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines: %d before storm, %d after close\n%s",
+				before, now, fmt.Sprintf("%.8000s", buf[:n]))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

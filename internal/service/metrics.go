@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gcacc/internal/fault"
 )
 
 // Stdlib-only metrics: counters, gauges and a fixed-bucket latency
@@ -119,14 +121,20 @@ type metrics struct {
 	rejectedFull    counter // admission failures: queue at capacity
 	rejectedInvalid counter // admission failures: bad engine / nil or oversized graph
 	rejectedClosed  counter // admission failures: service shutting down
+	rejectedExpired counter // admission failures: context already done at Submit
 	completed       counter // jobs that returned labels
 	failed          counter // jobs that returned a non-context error
 	canceled        counter // jobs aborted by their context
-	cacheHits       counter
-	cacheMisses     counter
-	cacheEvictions  counter
-	coalesced       counter // requests served by joining an in-flight identical job
-	generations     counter // total engine generations/steps executed
+
+	retries          counter // transient-failure retries of engine attempts
+	fallbackBreaker  counter // attempts degraded to sequential because a breaker was open
+	degradedOverload counter // jobs demoted to sequential at dequeue (queue depth ≥ DegradeDepth)
+	enginePanics     counter // engine runs contained by the panic recovery
+	cacheHits        counter
+	cacheMisses      counter
+	cacheEvictions   counter
+	coalesced        counter // requests served by joining an in-flight identical job
+	generations      counter // total engine generations/steps executed
 
 	queueDepth gauge
 	inFlight   gauge
@@ -148,9 +156,22 @@ type Stats struct {
 	RejectedFull    int64 `json:"rejected_queue_full"`
 	RejectedInvalid int64 `json:"rejected_invalid"`
 	RejectedClosed  int64 `json:"rejected_closed"`
+	RejectedExpired int64 `json:"rejected_expired"`
 	Completed       int64 `json:"completed"`
 	Failed          int64 `json:"failed"`
 	Canceled        int64 `json:"canceled"`
+
+	Retries          int64 `json:"retries"`
+	BreakerTrips     int64 `json:"breaker_trips"`
+	BreakerOpen      int64 `json:"breaker_open"`
+	FallbackBreaker  int64 `json:"fallback_breaker"`
+	DegradedOverload int64 `json:"degraded_overload"`
+	EnginePanics     int64 `json:"engine_panics"`
+
+	// Faults snapshots the service-level injector's counters; nil when no
+	// injector is configured (per-request injectors are not aggregated
+	// here).
+	Faults *fault.Counters `json:"faults,omitempty"`
 
 	CacheCapacity  int   `json:"cache_capacity"`
 	CacheLen       int   `json:"cache_len"`

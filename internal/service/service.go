@@ -17,6 +17,16 @@
 // concurrent requests are coalesced onto one computation — every engine
 // is deterministic, so one result serves them all, and a key is filled
 // at most once per residency.
+//
+// The resilience layer (opt-in via Config) handles engine runs that
+// fail transiently: bounded retry with exponential backoff and
+// deterministic jitter, a per-engine circuit breaker, and graceful
+// degradation to the sequential baseline under overload or when a
+// breaker is open. Degrading is safe because of the conformance
+// contract — every engine labels identically (internal/verify proves
+// it) — so a fallback changes provenance and cost, never the answer.
+// The chaos tier (internal/fault) drives all of it under seeded fault
+// schedules and checks exactly that invariant.
 package service
 
 import (
@@ -26,9 +36,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gcacc"
+	"gcacc/internal/fault"
 	"gcacc/internal/graph"
 )
 
@@ -40,6 +52,13 @@ var (
 	ErrTooLarge      = errors.New("service: graph exceeds the admitted vertex cap")
 	ErrNilGraph      = errors.New("service: nil graph")
 	ErrInvalidEngine = errors.New("service: invalid engine")
+	// ErrBreakerOpen rejects a job whose engine's circuit breaker is open
+	// and no fallback is configured (→ 503).
+	ErrBreakerOpen = errors.New("service: engine circuit breaker open")
+	// ErrEnginePanic reports an engine run that panicked; the worker
+	// recovered and stays alive (→ 500). Panics are not transient: they
+	// are never retried and they count against the breaker.
+	ErrEnginePanic = errors.New("service: engine panicked")
 )
 
 // Config sizes the serving layer. The zero value selects sensible
@@ -64,12 +83,48 @@ type Config struct {
 	// DefaultTimeout is applied to jobs whose request context carries no
 	// deadline of its own; 0 means no implicit deadline.
 	DefaultTimeout time.Duration
+	// MaxTimeout caps every job's deadline budget: requests arriving with
+	// a longer (or no) deadline are clamped to now+MaxTimeout. 0 means no
+	// cap.
+	MaxTimeout time.Duration
 	// MaxVertices rejects larger graphs at admission (the dense
 	// representation costs n² bits); <= 0 selects graph.MaxParseVertices.
 	MaxVertices int
 	// ExpvarName, if non-empty, publishes the Stats snapshot under this
 	// expvar key. Publish once per process: expvar panics on duplicates.
 	ExpvarName string
+
+	// Fault, if non-nil, injects its deterministic fault schedule into
+	// every non-sequential engine run (see internal/fault). The sequential
+	// fallback is never injected — that is what makes degrading to it safe.
+	Fault *fault.Injector
+	// Clock supplies time for queue-wait measurement, retry backoff and
+	// breaker cooldowns; nil selects the wall clock. Tests substitute a
+	// fault.FakeClock. Context deadlines remain real time.
+	Clock fault.Clock
+	// Seed drives the deterministic retry-backoff jitter.
+	Seed int64
+	// RetryMax is the number of retries (beyond the first attempt) for
+	// transient engine failures (fault.IsTransient); 0 disables retry.
+	RetryMax int
+	// RetryBase is the first backoff delay, doubled per retry; <= 0
+	// selects 1ms.
+	RetryBase time.Duration
+	// RetryCap bounds the backoff delay; <= 0 selects 50ms.
+	RetryCap time.Duration
+	// BreakerThreshold is the consecutive-failure count that trips an
+	// engine's circuit breaker; 0 disables breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker blocks attempts
+	// before letting a half-open probe through; <= 0 selects 500ms.
+	BreakerCooldown time.Duration
+	// FallbackSequential degrades a job to the sequential engine instead
+	// of failing it when its engine's breaker is open.
+	FallbackSequential bool
+	// DegradeDepth demotes non-sequential jobs to the sequential engine
+	// when the queue depth at dequeue is at or beyond this bound — shed
+	// simulator load, keep answering. 0 disables overload degradation.
+	DegradeDepth int
 }
 
 // Request is one unit of admitted work.
@@ -82,6 +137,9 @@ type Request struct {
 	// NoCache bypasses both cache lookup and fill for this request — the
 	// load generator's cold path and the throughput benchmark use it.
 	NoCache bool
+	// Fault, if non-nil, overrides Config.Fault for this request — the
+	// HTTP layer's opt-in chaos mode threads per-request schedules here.
+	Fault *fault.Injector
 }
 
 // Result is what a caller gets back. Labels is the caller's own copy.
@@ -96,6 +154,14 @@ type Result struct {
 	// Coalesced reports a result served by joining an identical in-flight
 	// computation.
 	Coalesced bool `json:"coalesced"`
+	// Degraded reports that the service answered with the sequential
+	// fallback instead of the requested engine (overload or open
+	// breaker). The labels are identical by the conformance contract;
+	// degraded results are never cached under the requested engine's key.
+	Degraded bool `json:"degraded,omitempty"`
+	// Retries is the number of transient-failure retries behind this
+	// result.
+	Retries int `json:"retries,omitempty"`
 	// Wait is the queue latency (admission → worker pickup) of the run
 	// that produced this result; zero for cache hits.
 	Wait time.Duration `json:"wait_ns"`
@@ -124,7 +190,7 @@ type flight struct {
 // job is a queued unit of work.
 type job struct {
 	ctx        context.Context
-	cancel     context.CancelFunc // non-nil when DefaultTimeout applied
+	cancel     context.CancelFunc // non-nil when a timeout budget was applied
 	req        Request
 	key        cacheKey
 	useCache   bool
@@ -139,6 +205,14 @@ type Service struct {
 	queue     chan *job
 	metrics   metrics
 	wg        sync.WaitGroup
+	clock     fault.Clock
+
+	// breakers maps each breakable engine to its circuit breaker; nil
+	// when breakers are disabled. Immutable after New; the sequential
+	// engine deliberately has no entry.
+	breakers map[gcacc.Engine]*breaker
+	// jitterN orders the deterministic backoff-jitter draws.
+	jitterN atomic.Uint64
 
 	mu       sync.Mutex
 	cache    *lruCache // nil when caching is disabled; guarded by mu
@@ -167,10 +241,32 @@ func New(cfg Config) *Service {
 	if cfg.MaxVertices <= 0 {
 		cfg.MaxVertices = graph.MaxParseVertices
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = fault.RealClock()
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = time.Millisecond
+	}
+	if cfg.RetryCap <= 0 {
+		cfg.RetryCap = 50 * time.Millisecond
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 500 * time.Millisecond
+	}
 	s := &Service{
 		cfg:      cfg,
+		clock:    cfg.Clock,
 		queue:    make(chan *job, cfg.QueueDepth),
 		inflight: make(map[cacheKey]*flight),
+	}
+	if cfg.BreakerThreshold > 0 {
+		s.breakers = make(map[gcacc.Engine]*breaker)
+		for _, e := range gcacc.Engines() {
+			if e == gcacc.EngineSequential {
+				continue // the fallback of last resort is unbreakered
+			}
+			s.breakers[e] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, s.clock)
+		}
 	}
 	s.simPerJob = cfg.SimWorkers / cfg.Workers
 	if s.simPerJob < 1 {
@@ -211,6 +307,12 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Result, error) {
 		s.metrics.rejectedInvalid.inc()
 		return nil, fmt.Errorf("%w: %d vertices, cap %d", ErrTooLarge, req.Graph.N(), s.cfg.MaxVertices)
 	}
+	if err := ctx.Err(); err != nil {
+		// A zero-budget deadline is rejected here, before the queue: it
+		// never occupies a slot and never reaches a simulator.
+		s.metrics.rejectedExpired.inc()
+		return nil, err
+	}
 
 	useCache := s.cache != nil && !req.NoCache
 	var key cacheKey
@@ -241,10 +343,23 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Result, error) {
 		}
 	}
 
+	// Per-job deadline budget: a request with no deadline of its own gets
+	// DefaultTimeout, and MaxTimeout caps everyone — including requests
+	// that arrived with a longer deadline. Deadlines are real time even
+	// under an injected clock.
 	jctx := ctx
 	var cancel context.CancelFunc
-	if _, has := ctx.Deadline(); !has && s.cfg.DefaultTimeout > 0 {
-		jctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
+	budget := time.Duration(0)
+	if d, has := ctx.Deadline(); !has {
+		budget = s.cfg.DefaultTimeout
+		if s.cfg.MaxTimeout > 0 && (budget <= 0 || budget > s.cfg.MaxTimeout) {
+			budget = s.cfg.MaxTimeout
+		}
+	} else if s.cfg.MaxTimeout > 0 && time.Until(d) > s.cfg.MaxTimeout {
+		budget = s.cfg.MaxTimeout
+	}
+	if budget > 0 {
+		jctx, cancel = context.WithTimeout(ctx, budget)
 	}
 	jb := &job{
 		ctx:        jctx,
@@ -252,7 +367,7 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Result, error) {
 		req:        req,
 		key:        key,
 		useCache:   useCache,
-		enqueuedAt: time.Now(),
+		enqueuedAt: s.clock.Now(),
 		fl:         &flight{done: make(chan struct{})},
 	}
 	select {
@@ -300,38 +415,12 @@ func (s *Service) worker() {
 }
 
 func (s *Service) runJob(jb *job) {
-	wait := time.Since(jb.enqueuedAt)
+	wait := s.clock.Now().Sub(jb.enqueuedAt)
 	s.metrics.queueWait.observe(wait)
 	s.metrics.inFlight.add(1)
 	defer s.metrics.inFlight.add(-1)
-	if s.testHookJobRunning != nil {
-		s.testHookJobRunning(jb)
-	}
 
-	var res *Result
-	err := jb.ctx.Err() // deadline may have passed while queued
-	if err == nil {
-		start := time.Now()
-		var rep *gcacc.Report
-		rep, err = gcacc.ConnectedComponentsWithContext(jb.ctx, jb.req.Graph, gcacc.Options{
-			Engine:  jb.req.Engine,
-			Workers: s.simPerJob,
-		})
-		run := time.Since(start)
-		if err == nil {
-			s.metrics.runTime.observe(run)
-			s.metrics.generations.add(int64(rep.Generations + rep.PRAMSteps))
-			res = &Result{
-				Labels:      rep.Labels,
-				Components:  rep.Components,
-				Engine:      jb.req.Engine.String(),
-				Generations: rep.Generations,
-				PRAMSteps:   rep.PRAMSteps,
-				Wait:        wait,
-				Run:         run,
-			}
-		}
-	}
+	res, err := s.executeJob(jb, wait)
 	if jb.cancel != nil {
 		jb.cancel()
 	}
@@ -342,15 +431,21 @@ func (s *Service) runJob(jb *job) {
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.metrics.canceled.inc()
 	default:
+		if errors.Is(err, ErrEnginePanic) {
+			s.metrics.enginePanics.inc()
+		}
 		s.metrics.failed.inc()
 	}
 
 	// Fill the cache and retire the flight atomically, so the next
 	// identical request sees exactly one of: the in-flight entry (join)
 	// or the cached result (hit) — never a gap that admits a second run.
+	// Degraded results are not cached: they carry the fallback's
+	// provenance, and the requested engine should get a real run once the
+	// pressure clears.
 	if jb.useCache {
 		s.mu.Lock()
-		if err == nil {
+		if err == nil && !res.Degraded {
 			s.metrics.cacheEvictions.add(int64(s.cache.add(jb.key, res)))
 		}
 		delete(s.inflight, jb.key)
@@ -360,11 +455,138 @@ func (s *Service) runJob(jb *job) {
 	close(jb.fl.done)
 }
 
+// executeJob runs one dequeued job through the resilience machinery:
+// overload degradation, the engine's circuit breaker, the engine run
+// itself, and bounded retry of transient failures. A panic anywhere in
+// the job (engine or test hook) is contained to ErrEnginePanic — the
+// worker goroutine survives.
+func (s *Service) executeJob(jb *job, wait time.Duration) (res *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("%w: %v", ErrEnginePanic, p)
+		}
+	}()
+	if s.testHookJobRunning != nil {
+		s.testHookJobRunning(jb)
+	}
+	if cerr := jb.ctx.Err(); cerr != nil {
+		return nil, cerr // deadline passed while queued; no engine run
+	}
+
+	engine, degraded := jb.req.Engine, false
+	if s.cfg.DegradeDepth > 0 && engine != gcacc.EngineSequential &&
+		s.metrics.queueDepth.value() >= int64(s.cfg.DegradeDepth) {
+		engine, degraded = gcacc.EngineSequential, true
+		s.metrics.degradedOverload.inc()
+	}
+	inj := jb.req.Fault
+	if inj == nil {
+		inj = s.cfg.Fault
+	}
+	br := s.breakers[engine] // nil for sequential or when breakers are off
+
+	retries := 0
+	for attempt := 0; ; attempt++ {
+		runEngine, runDegraded, abr := engine, degraded, br
+		if abr != nil && !abr.allow() {
+			if !s.cfg.FallbackSequential {
+				return nil, fmt.Errorf("%w: engine %s", ErrBreakerOpen, engine)
+			}
+			runEngine, runDegraded, abr = gcacc.EngineSequential, true, nil
+			s.metrics.fallbackBreaker.inc()
+		}
+		res, err := s.attempt(jb, runEngine, runDegraded, wait, retries, inj)
+		if err == nil {
+			if abr != nil {
+				abr.onSuccess()
+			}
+			return res, nil
+		}
+		if abr != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			abr.onFailure()
+		}
+		if !fault.IsTransient(err) || attempt >= s.cfg.RetryMax {
+			return nil, err
+		}
+		retries++
+		s.metrics.retries.inc()
+		if serr := s.clock.Sleep(jb.ctx, s.backoff(attempt)); serr != nil {
+			return nil, serr
+		}
+	}
+}
+
+// attempt runs the job once on the given engine. The sequential engine
+// is never fault-injected — it is the safety net every fallback lands
+// on. A panicking engine is contained here so the breaker sees it as
+// one failed attempt.
+func (s *Service) attempt(jb *job, engine gcacc.Engine, degraded bool, wait time.Duration, retries int, inj *fault.Injector) (res *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("%w: engine %s: %v", ErrEnginePanic, engine, p)
+		}
+	}()
+	opts := gcacc.Options{Engine: engine, Workers: s.simPerJob}
+	if engine != gcacc.EngineSequential {
+		opts.Fault = inj
+	}
+	start := s.clock.Now()
+	rep, err := gcacc.ConnectedComponentsWithContext(jb.ctx, jb.req.Graph, opts)
+	run := s.clock.Now().Sub(start)
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.runTime.observe(run)
+	s.metrics.generations.add(int64(rep.Generations + rep.PRAMSteps))
+	return &Result{
+		Labels:      rep.Labels,
+		Components:  rep.Components,
+		Engine:      engine.String(),
+		Generations: rep.Generations,
+		PRAMSteps:   rep.PRAMSteps,
+		Degraded:    degraded,
+		Retries:     retries,
+		Wait:        wait,
+		Run:         run,
+	}, nil
+}
+
+// jitterSite salts the backoff-jitter decision stream so it cannot
+// collide with the injector's own sites for the same seed.
+const jitterSite = 0x3b7d
+
+// backoff returns the delay before retry attempt+1: RetryBase doubled
+// per attempt, capped at RetryCap, scaled by a deterministic jitter in
+// [0.5, 1.0) so coinciding retries decorrelate without a locked rand.
+func (s *Service) backoff(attempt int) time.Duration {
+	d := s.cfg.RetryCap
+	if attempt < 30 {
+		if exp := s.cfg.RetryBase << uint(attempt); exp < d {
+			d = exp
+		}
+	}
+	j := fault.Uniform01(uint64(s.cfg.Seed)^jitterSite, s.jitterN.Add(1))
+	return time.Duration(float64(d) * (0.5 + 0.5*j))
+}
+
 // Stats snapshots every metric.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	cacheLen := s.cache.len()
 	s.mu.Unlock()
+	var breakerOpen, breakerTrips int64
+	for _, b := range s.breakers {
+		open, trips := b.snapshot()
+		if open {
+			breakerOpen++
+		}
+		breakerTrips += trips
+	}
+	var faults *fault.Counters
+	if s.cfg.Fault != nil {
+		c := s.cfg.Fault.Counters()
+		faults = &c
+	}
 	m := &s.metrics
 	return Stats{
 		Workers:          s.cfg.Workers,
@@ -377,9 +599,17 @@ func (s *Service) Stats() Stats {
 		RejectedFull:     m.rejectedFull.value(),
 		RejectedInvalid:  m.rejectedInvalid.value(),
 		RejectedClosed:   m.rejectedClosed.value(),
+		RejectedExpired:  m.rejectedExpired.value(),
 		Completed:        m.completed.value(),
 		Failed:           m.failed.value(),
 		Canceled:         m.canceled.value(),
+		Retries:          m.retries.value(),
+		BreakerTrips:     breakerTrips,
+		BreakerOpen:      breakerOpen,
+		FallbackBreaker:  m.fallbackBreaker.value(),
+		DegradedOverload: m.degradedOverload.value(),
+		EnginePanics:     m.enginePanics.value(),
+		Faults:           faults,
 		CacheCapacity:    max(s.cfg.CacheEntries, 0),
 		CacheLen:         cacheLen,
 		CacheHits:        m.cacheHits.value(),

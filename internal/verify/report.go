@@ -17,14 +17,18 @@ type Failure struct {
 }
 
 // EngineSummary aggregates one runner's results over the corpus. Path is
-// "direct" for in-process facade calls and "service" for runs submitted
-// through the serving layer (internal/service).
+// "direct" for in-process facade calls, "service" for runs submitted
+// through the serving layer (internal/service), and "service-faulty" for
+// the fault-injected serving path. Errors counts engine errors tolerated
+// on the faulty path — faults may produce errors, never wrong answers —
+// and is always zero on the clean paths, where an error is a failure.
 type EngineSummary struct {
 	Engine   string `json:"engine"`
 	Path     string `json:"path"`
 	Cases    int    `json:"cases"`
 	Checks   int    `json:"checks"`
 	Failures int    `json:"failures"`
+	Errors   int    `json:"errors,omitempty"`
 }
 
 // Report is the machine-readable result of a harness run — the JSON body
@@ -37,6 +41,9 @@ type Report struct {
 	Engines  []EngineSummary `json:"engines"`
 	Checks   int             `json:"checks"`
 	Failures []Failure       `json:"failures"`
+	// FaultSpec is the canonical form of the fault schedule injected into
+	// the service-faulty path; empty when that path did not run.
+	FaultSpec string `json:"fault_spec,omitempty"`
 }
 
 // OK reports whether every check passed.
@@ -48,7 +55,10 @@ func (r *Report) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "conformance corpus: n=%d seed=%d — %d cases over %d families, %d checks\n",
 		r.N, r.Seed, r.Cases, len(r.Families), r.Checks)
-	fmt.Fprintf(&b, "%-12s %-8s %8s %8s %9s\n", "engine", "path", "cases", "checks", "failures")
+	if r.FaultSpec != "" {
+		fmt.Fprintf(&b, "fault schedule (service-faulty path): %s\n", r.FaultSpec)
+	}
+	fmt.Fprintf(&b, "%-12s %-14s %8s %8s %9s %7s\n", "engine", "path", "cases", "checks", "failures", "errors")
 	engines := append([]EngineSummary(nil), r.Engines...)
 	sort.SliceStable(engines, func(i, j int) bool {
 		if engines[i].Path != engines[j].Path {
@@ -57,7 +67,7 @@ func (r *Report) Format() string {
 		return false // keep declaration order within a path
 	})
 	for _, e := range engines {
-		fmt.Fprintf(&b, "%-12s %-8s %8d %8d %9d\n", e.Engine, e.Path, e.Cases, e.Checks, e.Failures)
+		fmt.Fprintf(&b, "%-12s %-14s %8d %8d %9d %7d\n", e.Engine, e.Path, e.Cases, e.Checks, e.Failures, e.Errors)
 	}
 	if len(r.Failures) == 0 {
 		b.WriteString("PASS: all engines agree on every case and every oracle holds\n")

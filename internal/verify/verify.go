@@ -29,10 +29,12 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"gcacc"
 	"gcacc/internal/congestion"
 	"gcacc/internal/core"
+	"gcacc/internal/fault"
 	"gcacc/internal/graph"
 	"gcacc/internal/service"
 )
@@ -51,6 +53,15 @@ type Options struct {
 	// (admission, queue, worker pool, cache) and holds its results to the
 	// same ground truth.
 	Service bool
+	// FaultSpec, if non-empty, adds a "service-faulty" path: a second
+	// service instance injecting the parsed fault schedule
+	// (fault.ParseSpec vocabulary) with retry, breaker and sequential
+	// fallback enabled. Requests on this path may legitimately error —
+	// those are counted, not failed — but every result that does come
+	// back must still equal the union-find ground truth: faults may
+	// surface as errors, retries or documented fallbacks, never as a
+	// silently wrong answer.
+	FaultSpec string
 	// Metamorphic enables the metamorphic invariant checks (four extra
 	// engine runs per engine and case).
 	Metamorphic bool
@@ -68,12 +79,17 @@ func DefaultOptions() Options {
 	return Options{N: 32, Seed: 1, Service: true, Metamorphic: true, Oracles: true}
 }
 
-// runner executes one engine over one of the two paths.
+// runner executes one engine over one of the three paths.
 type runner struct {
 	engine  gcacc.Engine
-	path    string // "direct" | "service"
+	path    string // "direct" | "service" | "service-faulty"
 	svc     *service.Service
 	workers int
+	// faulty marks the fault-injected service path: engine errors are
+	// tolerated (and counted), and run-cost oracles that assume a clean
+	// run of the requested engine are skipped — a result may come from a
+	// retry or the sequential fallback. Label agreement is never waived.
+	faulty bool
 }
 
 func (r *runner) run(g *graph.Graph) (*gcacc.Report, error) {
@@ -132,6 +148,34 @@ func Run(opt Options) (*Report, error) {
 			runners = append(runners, &runner{engine: e, path: "service", svc: svc})
 		}
 	}
+	if opt.FaultSpec != "" {
+		cfg, err := fault.ParseSpec(opt.FaultSpec)
+		if err != nil {
+			return nil, fmt.Errorf("verify: %w", err)
+		}
+		rep.FaultSpec = cfg.String()
+		// The chaos path: same corpus, but every engine run is subjected
+		// to the fault schedule with the full resilience stack in front of
+		// it. Short backoffs and cooldowns keep the tier fast.
+		faultySvc := service.New(service.Config{
+			Workers:            2,
+			QueueDepth:         64,
+			SimWorkers:         opt.Workers,
+			MaxVertices:        2*opt.N + 8,
+			Fault:              fault.New(cfg),
+			Seed:               cfg.Seed,
+			RetryMax:           3,
+			RetryBase:          200 * time.Microsecond,
+			RetryCap:           2 * time.Millisecond,
+			BreakerThreshold:   3,
+			BreakerCooldown:    2 * time.Millisecond,
+			FallbackSequential: true,
+		})
+		defer faultySvc.Close()
+		for _, e := range engines {
+			runners = append(runners, &runner{engine: e, path: "service-faulty", svc: faultySvc, faulty: true})
+		}
+	}
 
 	summaries := make(map[*runner]*EngineSummary, len(runners))
 	for _, r := range runners {
@@ -177,6 +221,12 @@ func Run(opt Options) (*Report, error) {
 
 			res, err := r.run(c.Graph)
 			if err != nil {
+				if r.faulty {
+					// Errors are a documented legitimate outcome under
+					// injected faults; a wrong answer never is.
+					s.Errors++
+					continue
+				}
 				check(false, "differential", "engine error: %v", err)
 				continue
 			}
@@ -184,12 +234,12 @@ func Run(opt Options) (*Report, error) {
 				"labelling deviates from union-find: %s", diffLabels(res.Labels, truth))
 			check(res.Components == graph.ComponentCount(truth), "differential",
 				"component count %d, ground truth %d", res.Components, graph.ComponentCount(truth))
-			if r.engine == gcacc.EngineGCA {
+			if r.engine == gcacc.EngineGCA && !r.faulty {
 				want := gcacc.TotalGenerations(c.Graph.N())
 				check(res.Generations == want, "generations",
 					"GCA ran %d generations, closed form says %d", res.Generations, want)
 			}
-			if r.engine == gcacc.EnginePRAM && c.Graph.N() >= 2 {
+			if r.engine == gcacc.EnginePRAM && !r.faulty && c.Graph.N() >= 2 {
 				check(res.PRAMSteps > 0, "generations", "PRAM reported zero steps")
 			}
 

@@ -43,6 +43,39 @@ func TestConformanceCorpus(t *testing.T) {
 	}
 }
 
+// TestConformanceServiceFaulty rides the chaos invariant on tier 1: a
+// small corpus through the fault-injected serving path (retry, breaker,
+// sequential fallback) at a fixed seed. Requests may error under the
+// injected faults — errors are tolerated and counted — but every result
+// that comes back must equal the union-find ground truth. The full
+// seeded soak lives in internal/verify (TestChaosSoak, `make
+// chaos-smoke`); this sub-run keeps the invariant continuously checked
+// by plain `go test ./...`.
+func TestConformanceServiceFaulty(t *testing.T) {
+	rep, err := verify.Run(verify.Options{
+		N: 8, Seed: 5, Service: false, Metamorphic: false, Oracles: false,
+		FaultSpec: "seed=7,steperr=0.02,stepdelay=0.05:100us,stall=0.05:100us",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := 0
+	for _, e := range rep.Engines {
+		if e.Path == "service-faulty" {
+			faulty++
+			if e.Cases != rep.Cases {
+				t.Errorf("engine %s/%s ran %d of %d cases", e.Engine, e.Path, e.Cases, rep.Cases)
+			}
+		}
+	}
+	if faulty != len(gcacc.Engines()) {
+		t.Fatalf("faulty path exercised %d engines, want %d", faulty, len(gcacc.Engines()))
+	}
+	if !rep.OK() {
+		t.Fatalf("chaos invariant violated — a fault surfaced as a wrong answer:\n%s", rep.Format())
+	}
+}
+
 // TestConformancePowerOfTwo pins the paper's closed form at a power-of-two
 // size, where 1 + log n · (3·log n + 8) is exact: n = 32 gives log n = 5
 // and 116 generations.
