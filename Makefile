@@ -38,9 +38,11 @@ fmt-check:
 check: build vet test test-race lint chaos-smoke
 
 # Cross-engine conformance harness (differential + metamorphic + analytic
-# oracles over the deterministic corpus). See TESTING.md.
+# oracles over the deterministic corpus), then the sparse engines
+# differentially at n = 10⁵. See TESTING.md.
 verify:
 	$(GO) run ./cmd/gca-verify -n 32 -seed 1
+	$(GO) run ./cmd/gca-verify -sparse-n 100000 -seed 1
 
 # Chaos conformance tier: the seeded fault-injection soak under the race
 # detector — every successful response under injected step errors,
@@ -59,6 +61,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzParseMatrix$$' -fuzztime=$(FUZZTIME) ./internal/graph
 	$(GO) test -run='^$$' -fuzz='^FuzzAssemble$$' -fuzztime=$(FUZZTIME) ./internal/gcasm
 	$(GO) test -run='^$$' -fuzz='^FuzzConformanceEdgeList$$' -fuzztime=$(FUZZTIME) .
+	$(GO) test -run='^$$' -fuzz='^FuzzParseEdgeStream$$' -fuzztime=$(FUZZTIME) ./internal/sparse
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -3,14 +3,21 @@
 //
 //	gca-cc -in graph.txt -format matrix
 //	gca-cc -in graph.el -format edges -engine pram
+//	gca-cc -in million.el -sparse -engine liutarjan
 //	echo '3 1
 //	0 2' | gca-cc -format edges -stats
 //
 // It prints one "vertex label" pair per line, the component count, and —
 // with -stats — the per-generation activity/congestion summary.
+//
+// -sparse switches to the streaming edge-list parser and the sparse
+// edge-list representation: no n² structure is ever built, so inputs
+// with millions of vertices work — with a sparse-capable engine
+// (liutarjan, logdiameter, sequential, or the unionfind/bfs baselines).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +29,7 @@ import (
 	"gcacc/internal/core"
 	"gcacc/internal/graph"
 	"gcacc/internal/pram"
+	"gcacc/internal/sparse"
 )
 
 func main() {
@@ -30,10 +38,21 @@ func main() {
 		format = flag.String("format", "edges", "input format: edges|matrix")
 		engine = flag.String("engine", "gca",
 			"engine: "+strings.Join(gcacc.EngineNames(), "|")+"|bfs|dfs|unionfind")
-		stats = flag.Bool("stats", false, "print per-generation statistics (gca engine)")
-		quiet = flag.Bool("quiet", false, "suppress per-vertex output")
+		stats    = flag.Bool("stats", false, "print per-generation statistics (gca engine)")
+		quiet    = flag.Bool("quiet", false, "suppress per-vertex output")
+		sparseIn = flag.Bool("sparse", false, "stream the edge list into the sparse representation (no n² cap; edges format only)")
 	)
 	flag.Parse()
+
+	if *sparseIn {
+		if *format != "edges" {
+			fatal(fmt.Errorf("-sparse reads the edges format only, not %q", *format))
+		}
+		if err := runSparse(*in, *engine, *quiet); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	g, err := readGraph(*in, *format)
 	if err != nil {
@@ -60,6 +79,59 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "gca-cc:", err)
 	os.Exit(1)
+}
+
+// runSparse is the million-vertex path: stream-parse, run a
+// sparse-capable engine (or baseline), print the same output shape as
+// the dense path.
+func runSparse(path, engine string, quiet bool) error {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }() // read-only input
+		r = f
+	}
+	g, err := sparse.ReadEdgeStream(r)
+	if err != nil {
+		return err
+	}
+
+	var labels []int
+	var extra string
+	switch engine {
+	case "bfs":
+		labels = sparse.ConnectedComponentsBFS(g)
+	case "unionfind":
+		labels = sparse.ConnectedComponentsUnionFind(g)
+	default:
+		eng, err := gcacc.ParseEngine(engine)
+		if err != nil {
+			return fmt.Errorf("%w (or a sparse baseline: bfs|unionfind)", err)
+		}
+		rep, err := gcacc.ConnectedComponentsSparse(context.Background(), g, gcacc.Options{Engine: eng})
+		if err != nil {
+			return err
+		}
+		labels = rep.Labels
+		if rep.Generations > 0 {
+			extra = fmt.Sprintf("# %s rounds=%d\n", eng, rep.Generations)
+		}
+	}
+
+	if !quiet {
+		for v, l := range labels {
+			fmt.Printf("%d %d\n", v, l)
+		}
+	}
+	fmt.Printf("# vertices=%d edges=%d components=%d engine=%s representation=sparse\n",
+		g.N(), g.M(), sparse.ComponentCount(labels), engine)
+	fmt.Print(extra)
+	return nil
 }
 
 func readGraph(path, format string) (*graph.Graph, error) {

@@ -11,8 +11,10 @@
 //	    Body is a graph in the "edges" or "matrix" text format of
 //	    internal/graph/io.go. Returns the labelling as JSON. A malformed
 //	    body or unknown engine/format answers 400, a full queue 429, an
-//	    oversized body or graph 413, an expired deadline 504, an open
-//	    circuit breaker without fallback 503, and a client that
+//	    oversized body or graph 413, a dense-only engine asked for a
+//	    graph above the dense cutoff 422 (see -dense-cutoff; the error
+//	    names the sparse-capable engines), an expired deadline 504, an
+//	    open circuit breaker without fallback 503, and a client that
 //	    disconnects mid-request 499 (nginx's "client closed request";
 //	    only the access log sees it).
 //	GET  /v1/stats      JSON metrics snapshot (queue, cache, latencies,
@@ -67,6 +69,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request deadline (0 = none)")
 		maxTimeout  = flag.Duration("max-timeout", 0, "cap on every request's deadline budget (0 = none)")
 		maxVertices = flag.Int("max-vertices", graph.MaxParseVertices, "largest admitted graph")
+		denseCutoff = flag.Int("dense-cutoff", 0, "largest graph a dense-only engine may process (0 = library default, negative disables)")
 		maxBody     = flag.Int64("max-body", 64<<20, "largest accepted request body in bytes")
 
 		retries         = flag.Int("retries", 0, "max retries of transient engine failures per request")
@@ -100,6 +103,7 @@ func main() {
 		DefaultTimeout:     *timeout,
 		MaxTimeout:         *maxTimeout,
 		MaxVertices:        *maxVertices,
+		DenseCutoff:        *denseCutoff,
 		ExpvarName:         "gcacc_service",
 		Fault:              inj,
 		Seed:               *seed,
@@ -264,6 +268,11 @@ func statusOf(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, service.ErrTooLarge):
 		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, service.ErrDenseOnly):
+		// Well-formed request, but the named engine cannot process an
+		// input this size: 422, so clients can tell "pick a sparse
+		// engine" apart from "shrink the graph" (413).
+		return http.StatusUnprocessableEntity
 	case errors.Is(err, service.ErrClosed), errors.Is(err, service.ErrBreakerOpen):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, service.ErrInvalidEngine), errors.Is(err, service.ErrNilGraph):

@@ -75,6 +75,45 @@ func TestComponentsHandlerSuccess(t *testing.T) {
 	}
 }
 
+// TestComponentsHandlerDenseOnlyAboveCutoff pins the dense-engine
+// guardrail end to end: a graph above the dense cutoff requested on a
+// dense-only engine answers 422 with an error naming the cutoff and a
+// way out — not the OOM-shaped timeout a (n+1)×n cell field would
+// produce. The same graph on a sparse-capable engine succeeds.
+func TestComponentsHandlerDenseOnlyAboveCutoff(t *testing.T) {
+	svc := service.New(service.Config{
+		QueueDepth:  8,
+		Workers:     2,
+		MaxVertices: 256,
+		DenseCutoff: 16, // small override so the test graph stays tiny
+	})
+	t.Cleanup(svc.Close)
+	h := componentsHandler(svc, 1<<20, false)
+
+	body := "17 1\n0 16\n"
+	w := postComponents(t, h, "?engine=gca", body)
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("dense engine above cutoff: status = %d, want 422 (body %q)", w.Code, w.Body.String())
+	}
+	msg := errorBody(t, w)
+	if !strings.Contains(msg, "dense") || !strings.Contains(msg, "liutarjan") {
+		t.Fatalf("422 error %q does not explain the cutoff or name a sparse engine", msg)
+	}
+
+	for _, engine := range []string{"liutarjan", "logdiameter", "sequential"} {
+		w := postComponents(t, h, "?engine="+engine, body)
+		if w.Code != http.StatusOK {
+			t.Fatalf("sparse engine %s above cutoff: status = %d, want 200 (body %q)", engine, w.Code, w.Body.String())
+		}
+	}
+
+	// At or below the cutoff the dense engine still works.
+	w = postComponents(t, h, "?engine=gca", "16 1\n0 15\n")
+	if w.Code != http.StatusOK {
+		t.Fatalf("dense engine at cutoff: status = %d, want 200 (body %q)", w.Code, w.Body.String())
+	}
+}
+
 func TestComponentsHandlerUnknownEngine(t *testing.T) {
 	h := componentsHandler(newTestService(t), 1<<20, false)
 	w := postComponents(t, h, "?engine=quantum", "2 1\n0 1\n")
@@ -169,6 +208,7 @@ func TestStatusOf(t *testing.T) {
 	}{
 		{service.ErrQueueFull, http.StatusTooManyRequests},
 		{service.ErrTooLarge, http.StatusRequestEntityTooLarge},
+		{service.ErrDenseOnly, http.StatusUnprocessableEntity},
 		{service.ErrClosed, http.StatusServiceUnavailable},
 		{service.ErrBreakerOpen, http.StatusServiceUnavailable},
 		{service.ErrInvalidEngine, http.StatusBadRequest},

@@ -4,6 +4,7 @@
 //
 //	gca-verify -n 64 -seed 1
 //	gca-verify -n 128 -engines gca,pram -no-service -format text
+//	gca-verify -sparse-n 1000000 -format text
 //
 // Every engine (and, unless -no-service is given, the serving-layer path)
 // runs every corpus case; labellings are checked against the union-find
@@ -13,6 +14,12 @@
 // schedule). Exit status 0 means every check passed; 1 means at least one
 // conformance failure (the report lists each one); 2 means the harness
 // itself could not run.
+//
+// With -sparse-n the sparse harness runs instead: the edge-list engines
+// (liutarjan with all its variants, logdiameter) and the sequential
+// baseline over the sparse corpus (paths, stars, random m=2n, RMAT,
+// planted forests) against union-find, at sizes far beyond the dense
+// corpus — n = 10⁶ completes in seconds.
 package main
 
 import (
@@ -38,8 +45,22 @@ func main() {
 		workers     = flag.Int("workers", 0, "simulator goroutines per run (0 = GOMAXPROCS)")
 		format      = flag.String("format", "json", "report format: json|text")
 		failuresCap = flag.Int("max-failures", 0, "truncate the failure list in the report (0 = keep all)")
+		sparseN     = flag.Int("sparse-n", 0, "run the sparse harness at this vertex budget instead (edge-list engines vs union-find)")
+		noVariants  = flag.Bool("no-variants", false, "sparse harness: skip the per-variant Liu–Tarjan runs")
 	)
 	flag.Parse()
+
+	if *sparseN > 0 {
+		rep, err := verify.RunSparse(verify.SparseOptions{
+			N: *sparseN, Seed: *seed, Workers: *workers, AllVariants: !*noVariants,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gca-verify:", err)
+			os.Exit(2)
+		}
+		emit(rep, *format, *failuresCap)
+		return
+	}
 
 	opt := verify.Options{
 		N:           *n,
@@ -66,11 +87,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gca-verify:", err)
 		os.Exit(2)
 	}
-	if *failuresCap > 0 && len(rep.Failures) > *failuresCap {
-		rep.Failures = rep.Failures[:*failuresCap]
+	emit(rep, *format, *failuresCap)
+}
+
+// emit prints the report in the requested format and exits non-zero on
+// conformance failures.
+func emit(rep *verify.Report, format string, failuresCap int) {
+	if failuresCap > 0 && len(rep.Failures) > failuresCap {
+		rep.Failures = rep.Failures[:failuresCap]
 	}
 
-	switch *format {
+	switch format {
 	case "json":
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -81,7 +108,7 @@ func main() {
 	case "text":
 		fmt.Print(rep.Format())
 	default:
-		fmt.Fprintf(os.Stderr, "gca-verify: unknown format %q (json|text)\n", *format)
+		fmt.Fprintf(os.Stderr, "gca-verify: unknown format %q (json|text)\n", format)
 		os.Exit(2)
 	}
 

@@ -26,6 +26,7 @@ package gcacc
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"gcacc/internal/core"
 	"gcacc/internal/fault"
@@ -34,6 +35,7 @@ import (
 	"gcacc/internal/msf"
 	"gcacc/internal/ncell"
 	"gcacc/internal/pram"
+	"gcacc/internal/sparse"
 	"gcacc/internal/tc"
 )
 
@@ -43,6 +45,24 @@ type Graph = graph.Graph
 
 // NewGraph returns an empty graph with n vertices.
 func NewGraph(n int) *Graph { return graph.New(n) }
+
+// SparseGraph is an undirected graph backed by an edge list with a lazy
+// CSR view — Θ(n + m) memory, the representation the sparse engines
+// (EngineLiuTarjan, EngineLogDiameter) and million-vertex workloads use.
+type SparseGraph = sparse.Graph
+
+// NewSparseGraph returns an empty sparse graph with n vertices.
+func NewSparseGraph(n int) *SparseGraph { return sparse.New(n) }
+
+// ParseEdgeStream reads the "edges" text format ("n m" header, "u v"
+// lines) into a sparse graph in one streaming pass; unlike the dense
+// parsers it accepts vertex counts far beyond DenseCutoff.
+func ParseEdgeStream(r io.Reader) (*SparseGraph, error) { return sparse.ReadEdgeStream(r) }
+
+// DenseCutoff is the largest vertex count for which the dense n²-bit
+// representation (and the dense-only engines) is offered; see
+// Engine.Sparse and the serving layer's admission check.
+const DenseCutoff = sparse.DenseCutoff
 
 // Engine selects which implementation computes the components.
 type Engine int
@@ -64,6 +84,15 @@ const (
 	// the Section-4 hardware (static per-generation wiring plus n
 	// extended cells).
 	EngineHardware
+	// EngineLiuTarjan runs the Liu–Tarjan concurrent label-propagation
+	// algorithm (extended-connect with alteration) over the sparse
+	// edge-list representation — Θ(n + m) memory, so it scales to
+	// million-vertex graphs no dense engine can touch.
+	EngineLiuTarjan
+	// EngineLogDiameter runs the deterministic adaptation of the
+	// Liu–Tarjan–Zhong log-diameter connectivity algorithm, also over the
+	// sparse representation.
+	EngineLogDiameter
 )
 
 // String names the engine.
@@ -79,17 +108,31 @@ func (e Engine) String() string {
 		return "ncell"
 	case EngineHardware:
 		return "hardware"
+	case EngineLiuTarjan:
+		return "liutarjan"
+	case EngineLogDiameter:
+		return "logdiameter"
 	default:
 		return "unknown"
 	}
 }
 
 // Valid reports whether e names an implemented engine.
-func (e Engine) Valid() bool { return e >= EngineGCA && e <= EngineHardware }
+func (e Engine) Valid() bool { return e >= EngineGCA && e <= EngineLogDiameter }
+
+// Sparse reports whether e can run on the sparse edge-list
+// representation — and therefore on graphs above DenseCutoff. The dense
+// engines simulate the paper's (n+1)×n cell field or the n²-bit
+// adjacency matrix and are refused above the cutoff by the serving
+// layer; EngineSequential streams edges and handles both regimes.
+func (e Engine) Sparse() bool {
+	return e == EngineSequential || e == EngineLiuTarjan || e == EngineLogDiameter
+}
 
 // Engines returns all implemented engines in declaration order.
 func Engines() []Engine {
-	return []Engine{EngineGCA, EnginePRAM, EngineSequential, EngineNCell, EngineHardware}
+	return []Engine{EngineGCA, EnginePRAM, EngineSequential, EngineNCell, EngineHardware,
+		EngineLiuTarjan, EngineLogDiameter}
 }
 
 // EngineNames returns the parseable engine names in declaration order.
@@ -103,8 +146,9 @@ func EngineNames() []string {
 }
 
 // ParseEngine maps an engine name ("gca", "pram", "sequential", "ncell",
-// "hardware") to its Engine value. It is the one engine-name parser shared
-// by cmd/gca-cc, cmd/gca-serve and cmd/gca-loadgen.
+// "hardware", "liutarjan", "logdiameter") to its Engine value. It is the
+// one engine-name parser shared by cmd/gca-cc, cmd/gca-serve and
+// cmd/gca-loadgen.
 func ParseEngine(name string) (Engine, error) {
 	for _, e := range Engines() {
 		if name == e.String() {
@@ -137,10 +181,12 @@ type Options struct {
 	CollectStats bool
 	// Fault, if non-nil and enabled, threads a deterministic
 	// fault-injection schedule (internal/fault) into the stepping engines:
-	// EngineGCA and EngineNCell honour it through gca.StepHooks.
-	// EnginePRAM and EngineHardware have no hook points and ignore it;
-	// EngineSequential is the fallback of last resort and is never
-	// injected, which is what makes degrading to it safe.
+	// EngineGCA and EngineNCell honour it through gca.StepHooks, and the
+	// sparse round engines (EngineLiuTarjan, EngineLogDiameter) accept
+	// the same hooks at their round and worker boundaries. EnginePRAM and
+	// EngineHardware have no hook points and ignore it; EngineSequential
+	// is the fallback of last resort and is never injected, which is what
+	// makes degrading to it safe.
 	Fault *fault.Injector
 }
 
@@ -248,8 +294,64 @@ func ConnectedComponentsWithContext(ctx context.Context, g *Graph, opt Options) 
 			Components:  graph.ComponentCount(labels),
 			Generations: ca.Cycles,
 		}, nil
+	case EngineLiuTarjan, EngineLogDiameter:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return ConnectedComponentsSparse(ctx, sparse.FromDense(g), opt)
 	default:
 		return nil, fmt.Errorf("gcacc: invalid engine %d (valid: %v)", int(opt.Engine), EngineNames())
+	}
+}
+
+// ConnectedComponentsSparse computes components of a sparse edge-list
+// graph. The sparse engines (see Engine.Sparse) run on it natively at
+// any size up to sparse.MaxVertices; a dense-only engine is honoured by
+// densifying when the graph is at most DenseCutoff vertices and refused
+// with an error above it — the same boundary the serving layer enforces
+// at admission. Report.Generations carries the sparse engines' round
+// count (their analogue of the dense engines' generation count).
+func ConnectedComponentsSparse(ctx context.Context, g *SparseGraph, opt Options) (*Report, error) {
+	if !opt.Engine.Valid() {
+		return nil, fmt.Errorf("gcacc: invalid engine %d (valid: %v)", int(opt.Engine), EngineNames())
+	}
+	switch opt.Engine {
+	case EngineLiuTarjan, EngineLogDiameter:
+		sopt := sparse.Options{
+			Ctx:     ctx,
+			Workers: opt.Workers,
+			Hooks:   opt.Fault.GCAHooks(ctx),
+			Variant: sparse.DefaultVariant,
+		}
+		var (
+			res sparse.Result
+			err error
+		)
+		if opt.Engine == EngineLiuTarjan {
+			res, err = sparse.LiuTarjan(g, sopt)
+		} else {
+			res, err = sparse.LogDiameter(g, sopt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &Report{
+			Labels:      res.Labels,
+			Components:  sparse.ComponentCount(res.Labels),
+			Generations: res.Rounds,
+		}, nil
+	case EngineSequential:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		labels := sparse.ConnectedComponentsUnionFind(g)
+		return &Report{Labels: labels, Components: sparse.ComponentCount(labels)}, nil
+	default:
+		d, err := g.ToDense()
+		if err != nil {
+			return nil, fmt.Errorf("gcacc: engine %q needs the dense representation: %w", opt.Engine, err)
+		}
+		return ConnectedComponentsWithContext(ctx, d, opt)
 	}
 }
 

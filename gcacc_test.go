@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"gcacc/internal/graph"
@@ -31,7 +32,7 @@ func TestAllEnginesAgree(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
 		n := 1 + rng.Intn(24)
 		g := graph.Gnp(n, rng.Float64()/2, rng)
-		engines := []Engine{EngineGCA, EnginePRAM, EngineSequential, EngineNCell, EngineHardware}
+		engines := Engines()
 		var results [][]int
 		for _, e := range engines {
 			rep, err := ConnectedComponentsWith(g, Options{Engine: e})
@@ -100,11 +101,63 @@ func TestTransitiveClosureFacade(t *testing.T) {
 	}
 }
 
-func TestEngineString(t *testing.T) {
-	if EngineGCA.String() != "gca" || EnginePRAM.String() != "pram" ||
-		EngineSequential.String() != "sequential" || EngineNCell.String() != "ncell" ||
-		EngineHardware.String() != "hardware" || Engine(9).String() != "unknown" {
-		t.Fatal("engine names wrong")
+// TestEngineRegistration is the table the whole engine zoo hangs off: a
+// new engine is fully registered only when its row is here AND
+// String/Valid/Sparse/Engines/EngineNames/ParseEngine and the dispatch
+// all agree. Half-registering an engine (say, adding the enum constant
+// but not the Engines() entry) breaks this table one way or another.
+func TestEngineRegistration(t *testing.T) {
+	table := []struct {
+		engine Engine
+		index  int
+		name   string
+		sparse bool
+	}{
+		{EngineGCA, 0, "gca", false},
+		{EnginePRAM, 1, "pram", false},
+		{EngineSequential, 2, "sequential", true},
+		{EngineNCell, 3, "ncell", false},
+		{EngineHardware, 4, "hardware", false},
+		{EngineLiuTarjan, 5, "liutarjan", true},
+		{EngineLogDiameter, 6, "logdiameter", true},
+	}
+	if len(table) != len(Engines()) {
+		t.Fatalf("registration table has %d rows, Engines() has %d — update both together",
+			len(table), len(Engines()))
+	}
+	for _, row := range table {
+		if int(row.engine) != row.index {
+			t.Errorf("%s: enum value %d, table says %d", row.name, int(row.engine), row.index)
+		}
+		if got := row.engine.String(); got != row.name {
+			t.Errorf("engine %d: String() = %q, want %q", row.index, got, row.name)
+		}
+		if !row.engine.Valid() {
+			t.Errorf("%s: Valid() = false", row.name)
+		}
+		if got := row.engine.Sparse(); got != row.sparse {
+			t.Errorf("%s: Sparse() = %v, want %v", row.name, got, row.sparse)
+		}
+		if Engines()[row.index] != row.engine {
+			t.Errorf("Engines()[%d] = %s, want %s", row.index, Engines()[row.index], row.name)
+		}
+		if EngineNames()[row.index] != row.name {
+			t.Errorf("EngineNames()[%d] = %q, want %q", row.index, EngineNames()[row.index], row.name)
+		}
+		if got, err := ParseEngine(row.name); err != nil || got != row.engine {
+			t.Errorf("ParseEngine(%q) = %v, %v", row.name, got, err)
+		}
+	}
+	for _, bad := range []Engine{Engine(len(table)), Engine(-1), Engine(99)} {
+		if bad.Valid() {
+			t.Errorf("Engine(%d).Valid() = true", int(bad))
+		}
+		if bad.String() != "unknown" {
+			t.Errorf("Engine(%d).String() = %q, want unknown", int(bad), bad.String())
+		}
+		if bad.Sparse() {
+			t.Errorf("Engine(%d).Sparse() = true", int(bad))
+		}
 	}
 }
 
@@ -174,6 +227,66 @@ func TestContextCancelAbortsEngines(t *testing.T) {
 		if _, err := ConnectedComponentsWithContext(ctx, g, Options{Engine: e}); !errors.Is(err, context.Canceled) {
 			t.Errorf("engine %s with cancelled ctx: err = %v, want context.Canceled", e, err)
 		}
+	}
+}
+
+// TestSparseFacade covers the sparse entry point: sparse engines run
+// natively, dense engines densify below the cutoff and are refused
+// above it, and labels always match the sequential ground truth.
+func TestSparseFacade(t *testing.T) {
+	g := NewSparseGraph(10)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(5, 6)
+	want, err := ConnectedComponentsSparse(context.Background(), g, Options{Engine: EngineSequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Components != 7 {
+		t.Fatalf("Components = %d, want 7", want.Components)
+	}
+	for _, e := range Engines() {
+		rep, err := ConnectedComponentsSparse(context.Background(), g, Options{Engine: e})
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		for v := range want.Labels {
+			if rep.Labels[v] != want.Labels[v] {
+				t.Fatalf("%s: label[%d] = %d, want %d", e, v, rep.Labels[v], want.Labels[v])
+			}
+		}
+		if e == EngineLiuTarjan || e == EngineLogDiameter {
+			if rep.Generations == 0 {
+				t.Fatalf("%s: no round count in Report.Generations", e)
+			}
+		}
+	}
+
+	big := NewSparseGraph(DenseCutoff + 1)
+	big.AddEdge(0, DenseCutoff)
+	if _, err := ConnectedComponentsSparse(context.Background(), big, Options{Engine: EngineGCA}); err == nil {
+		t.Fatal("dense-only engine above the cutoff must be refused")
+	}
+	rep, err := ConnectedComponentsSparse(context.Background(), big, Options{Engine: EngineLiuTarjan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Labels[DenseCutoff] != 0 || rep.Components != DenseCutoff {
+		t.Fatalf("sparse engine above the cutoff: components=%d label=%d", rep.Components, rep.Labels[DenseCutoff])
+	}
+	if _, err := ConnectedComponentsSparse(context.Background(), g, Options{Engine: Engine(42)}); err == nil {
+		t.Fatal("invalid engine accepted by the sparse entry point")
+	}
+}
+
+// TestParseEdgeStreamFacade pins the re-exported streaming parser.
+func TestParseEdgeStreamFacade(t *testing.T) {
+	g, err := ParseEdgeStream(strings.NewReader("3 2\n0 1\n1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("parsed n=%d m=%d", g.N(), g.M())
 	}
 }
 

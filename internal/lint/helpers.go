@@ -9,12 +9,13 @@ import (
 // deterministic and cancellable: the engines behind every conformance
 // check and every cached serving result.
 var simulatorPackages = map[string]bool{
-	"gca":   true,
-	"core":  true,
-	"pram":  true,
-	"ncell": true,
-	"hw":    true,
-	"gcasm": true,
+	"gca":    true,
+	"core":   true,
+	"pram":   true,
+	"ncell":  true,
+	"hw":     true,
+	"gcasm":  true,
+	"sparse": true,
 }
 
 // calleeFunc resolves the *types.Func a call invokes, or nil for

@@ -45,13 +45,19 @@ import (
 )
 
 // Admission errors. The HTTP layer maps these onto status codes
-// (ErrQueueFull → 429, ErrTooLarge → 413, ErrClosed → 503, the rest 400).
+// (ErrQueueFull → 429, ErrTooLarge → 413, ErrDenseOnly → 422,
+// ErrClosed → 503, the rest 400).
 var (
 	ErrQueueFull     = errors.New("service: job queue full")
 	ErrClosed        = errors.New("service: shutting down")
 	ErrTooLarge      = errors.New("service: graph exceeds the admitted vertex cap")
 	ErrNilGraph      = errors.New("service: nil graph")
 	ErrInvalidEngine = errors.New("service: invalid engine")
+	// ErrDenseOnly rejects a dense-only engine for a graph above the
+	// dense cutoff (→ 422): the request is well-formed, but the named
+	// engine cannot process an input that size — retrying cannot help,
+	// switching to a sparse-capable engine can.
+	ErrDenseOnly = errors.New("service: engine needs the dense representation")
 	// ErrBreakerOpen rejects a job whose engine's circuit breaker is open
 	// and no fallback is configured (→ 503).
 	ErrBreakerOpen = errors.New("service: engine circuit breaker open")
@@ -90,6 +96,12 @@ type Config struct {
 	// MaxVertices rejects larger graphs at admission (the dense
 	// representation costs n² bits); <= 0 selects graph.MaxParseVertices.
 	MaxVertices int
+	// DenseCutoff rejects dense-only engines (see gcacc.Engine.Sparse)
+	// for graphs above this vertex count with ErrDenseOnly — a clear 422
+	// instead of the OOM-shaped timeout a (n+1)×n cell field at n ≫ 4096
+	// would produce. 0 selects gcacc.DenseCutoff; negative disables the
+	// guardrail.
+	DenseCutoff int
 	// ExpvarName, if non-empty, publishes the Stats snapshot under this
 	// expvar key. Publish once per process: expvar panics on duplicates.
 	ExpvarName string
@@ -241,6 +253,9 @@ func New(cfg Config) *Service {
 	if cfg.MaxVertices <= 0 {
 		cfg.MaxVertices = graph.MaxParseVertices
 	}
+	if cfg.DenseCutoff == 0 {
+		cfg.DenseCutoff = gcacc.DenseCutoff
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = fault.RealClock()
 	}
@@ -291,8 +306,8 @@ func (s *Service) Config() Config { return s.cfg }
 // Submit admits, executes (or cache-serves) one request and blocks until
 // its result is available or ctx is done. Rejections are immediate:
 // ErrQueueFull when the queue is at capacity, ErrClosed after Close has
-// begun, ErrTooLarge/ErrNilGraph/ErrInvalidEngine for inadmissible
-// requests.
+// begun, ErrTooLarge/ErrNilGraph/ErrInvalidEngine/ErrDenseOnly for
+// inadmissible requests.
 func (s *Service) Submit(ctx context.Context, req Request) (*Result, error) {
 	s.metrics.submitted.inc()
 	if req.Graph == nil {
@@ -306,6 +321,11 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Result, error) {
 	if req.Graph.N() > s.cfg.MaxVertices {
 		s.metrics.rejectedInvalid.inc()
 		return nil, fmt.Errorf("%w: %d vertices, cap %d", ErrTooLarge, req.Graph.N(), s.cfg.MaxVertices)
+	}
+	if s.cfg.DenseCutoff > 0 && !req.Engine.Sparse() && req.Graph.N() > s.cfg.DenseCutoff {
+		s.metrics.rejectedInvalid.inc()
+		return nil, fmt.Errorf("%w: engine %q cannot process %d vertices (dense cutoff %d); use a sparse-capable engine (e.g. liutarjan, logdiameter, sequential)",
+			ErrDenseOnly, req.Engine, req.Graph.N(), s.cfg.DenseCutoff)
 	}
 	if err := ctx.Err(); err != nil {
 		// A zero-budget deadline is rejected here, before the queue: it

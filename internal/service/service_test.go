@@ -220,6 +220,44 @@ func TestAdmissionValidation(t *testing.T) {
 	}
 }
 
+// TestAdmissionDenseCutoff pins the dense-engine guardrail: above the
+// cutoff, dense-only engines are rejected with ErrDenseOnly while the
+// sparse-capable ones run; a negative cutoff disables the check.
+func TestAdmissionDenseCutoff(t *testing.T) {
+	svc := New(Config{MaxVertices: 64, DenseCutoff: 8})
+	defer svc.Close()
+	ctx := context.Background()
+
+	big := graph.Path(9)
+	for _, e := range gcacc.Engines() {
+		_, err := svc.Submit(ctx, Request{Graph: big, Engine: e})
+		if e.Sparse() {
+			if err != nil {
+				t.Errorf("sparse engine %s above cutoff: %v", e, err)
+			}
+		} else if !errors.Is(err, ErrDenseOnly) {
+			t.Errorf("dense engine %s above cutoff: err = %v, want ErrDenseOnly", e, err)
+		}
+	}
+	// At the cutoff, every engine is admitted.
+	if _, err := svc.Submit(ctx, Request{Graph: graph.Path(8), Engine: gcacc.EngineGCA}); err != nil {
+		t.Errorf("dense engine at cutoff: %v", err)
+	}
+
+	// The default cutoff is gcacc.DenseCutoff; a negative value disables
+	// the guardrail entirely.
+	def := New(Config{})
+	if got := def.Config().DenseCutoff; got != gcacc.DenseCutoff {
+		t.Errorf("default DenseCutoff = %d, want %d", got, gcacc.DenseCutoff)
+	}
+	def.Close()
+	off := New(Config{MaxVertices: 64, DenseCutoff: -1})
+	defer off.Close()
+	if _, err := off.Submit(ctx, Request{Graph: big, Engine: gcacc.EngineNCell}); err != nil {
+		t.Errorf("guardrail disabled: %v", err)
+	}
+}
+
 func TestCacheLRUEviction(t *testing.T) {
 	svc := New(Config{CacheEntries: 2})
 	defer svc.Close()

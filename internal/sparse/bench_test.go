@@ -1,0 +1,100 @@
+package sparse
+
+// Million-vertex scaling benches for the sparse engine family. The dense
+// engines build an (n+1)×n cell field and stop at the dense cutoff; these
+// benches measure the edge-list engines in the regime the cutoff exists
+// for: m = 2n random edges at n = 10⁵ and 10⁶.
+//
+//	go test -bench=SparseEngines -benchmem ./internal/sparse
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchSparse builds the standard sparse workload: n vertices, 2n random
+// edges (a supercritical G(n, m) — a giant component plus debris), seeded
+// so every trajectory point measures the identical graph.
+func benchSparse(n int) *Graph {
+	g := RandomEdges(n, 2*n, rand.New(rand.NewSource(2007)))
+	g.Edges() // canonicalise outside the timed region
+	return g
+}
+
+// BenchmarkSparseEngines compares the sparse engines against the
+// sequential union-find and BFS baselines on the same workload. The
+// reported metric for the label-propagation engines is the round count —
+// the quantity the O(log n) convergence argument bounds.
+func BenchmarkSparseEngines(b *testing.B) {
+	for _, n := range []int{100_000, 1_000_000} {
+		g := benchSparse(n)
+		b.Run(fmt.Sprintf("liutarjan/n=%d", n), func(b *testing.B) {
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				res, err := LiuTarjan(g, Options{Variant: DefaultVariant})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+		b.Run(fmt.Sprintf("logdiameter/n=%d", n), func(b *testing.B) {
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				res, err := LogDiameter(g, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+		b.Run(fmt.Sprintf("unionfind/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ConnectedComponentsUnionFind(g)
+			}
+		})
+		b.Run(fmt.Sprintf("bfs/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ConnectedComponentsBFS(g)
+			}
+		})
+	}
+}
+
+// BenchmarkLiuTarjanWorkers measures the engine's multicore scaling at
+// n = 10⁵ — the labels are bit-identical across worker counts (pinned by
+// TestEnginesDeterministicAcrossWorkers), so this isolates pure speedup.
+func BenchmarkLiuTarjanWorkers(b *testing.B) {
+	g := benchSparse(100_000)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := LiuTarjan(g, Options{Workers: w, Variant: DefaultVariant}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParseEdgeStream measures the streaming parser throughput on a
+// generated million-edge listing.
+func BenchmarkParseEdgeStream(b *testing.B) {
+	g := benchSparse(500_000)
+	var buf bytes.Buffer
+	if err := WriteEdgeStream(&buf, g); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadEdgeStream(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

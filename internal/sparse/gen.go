@@ -1,0 +1,155 @@
+package sparse
+
+import "math/rand"
+
+// Scale-parameterized workload generators for the sparse conformance
+// corpus and benchmarks. Every random generator takes an explicit
+// *rand.Rand (the repo's determinism discipline: reproducible from the
+// seed alone, no package-level randomness), and the deterministic
+// families mirror the shapes the dense corpus uses — paths and stars are
+// the two adversaries the paper's Section 4 analysis singles out, here
+// at a scale the dense engines cannot touch.
+
+// Path returns the path 0–1–…–(n-1): maximum label-propagation depth,
+// the worst case for per-round-constant-progress algorithms and the
+// showcase for the doubling rounds of the engines here.
+func Path(n int) *Graph {
+	g := New(n)
+	g.edges = make([]Edge, 0, maxInt(0, n-1))
+	for i := 0; i+1 < n; i++ {
+		g.edges = append(g.edges, Edge{int32(i), int32(i + 1)})
+	}
+	return g
+}
+
+// Cycle returns the n-cycle (n ≥ 3 for the closing edge to be valid).
+func Cycle(n int) *Graph {
+	g := Path(n)
+	if n >= 3 {
+		g.edges = append(g.edges, Edge{0, int32(n - 1)})
+		g.canon = false
+	}
+	return g
+}
+
+// Star returns the star with centre 0: maximum hooking contention —
+// every edge proposes a label for the same handful of vertices.
+func Star(n int) *Graph {
+	g := New(n)
+	g.edges = make([]Edge, 0, maxInt(0, n-1))
+	for i := 1; i < n; i++ {
+		g.edges = append(g.edges, Edge{0, int32(i)})
+	}
+	return g
+}
+
+// MatchingChain returns ⌊n/2⌋ disjoint edges {2i, 2i+1}: many tiny
+// components, the maximum-component-count regime.
+func MatchingChain(n int) *Graph {
+	g := New(n)
+	g.edges = make([]Edge, 0, n/2)
+	for i := 0; i+1 < n; i += 2 {
+		g.edges = append(g.edges, Edge{int32(i), int32(i + 1)})
+	}
+	return g
+}
+
+// RandomEdges returns a graph with m uniformly random edges (duplicates
+// collapse, so the distinct count can be slightly below m) — the
+// m = O(n) sparse regime of the Liu–Tarjan experiments.
+func RandomEdges(n, m int, rng *rand.Rand) *Graph {
+	g := New(n)
+	if n < 2 {
+		return g
+	}
+	g.edges = make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n - 1))
+		if v >= u {
+			v++
+		}
+		if u > v {
+			u, v = v, u
+		}
+		g.edges = append(g.edges, Edge{u, v})
+	}
+	g.canon = false
+	return g
+}
+
+// RMAT returns a recursive-matrix graph with m sampled edges over
+// n = 2^scale vertices and the Graph500 partition probabilities
+// (a, b, c, d) = (0.57, 0.19, 0.19, 0.05): the skewed-degree regime
+// where a few hub vertices concentrate most of the hooking traffic.
+// Self-loops are re-drawn; duplicates collapse.
+func RMAT(scale, m int, rng *rand.Rand) *Graph {
+	n := 1 << uint(scale)
+	g := New(n)
+	g.edges = make([]Edge, 0, m)
+	const a, b, c = 0.57, 0.19, 0.19
+	for i := 0; i < m; i++ {
+		var u, v int32
+		for {
+			u, v = 0, 0
+			for bit := scale - 1; bit >= 0; bit-- {
+				p := rng.Float64()
+				switch {
+				case p < a:
+					// top-left quadrant: neither bit set
+				case p < a+b:
+					v |= 1 << uint(bit)
+				case p < a+b+c:
+					u |= 1 << uint(bit)
+				default:
+					u |= 1 << uint(bit)
+					v |= 1 << uint(bit)
+				}
+			}
+			if u != v {
+				break
+			}
+		}
+		if u > v {
+			u, v = v, u
+		}
+		g.edges = append(g.edges, Edge{u, v})
+	}
+	g.canon = false
+	return g
+}
+
+// PlantedForest returns a graph with exactly k components: vertices are
+// dealt round-robin into k groups and each group gets a random spanning
+// tree (every vertex beyond the group root attaches to a random earlier
+// group member). The analytically known component count makes this the
+// sparse corpus's planted-truth family.
+func PlantedForest(n, k int, rng *rand.Rand) *Graph {
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	g := New(n)
+	g.edges = make([]Edge, 0, maxInt(0, n-k))
+	// Group of vertex v is v % k; members of group r are r, r+k, r+2k, …
+	// Vertex v ≥ k attaches to a uniformly random earlier member of its
+	// group, giving a random tree per group and exactly k components.
+	for v := k; v < n; v++ {
+		r := v % k
+		members := (v - r) / k // members of group r strictly below v
+		anc := r + k*rng.Intn(members)
+		u, w := int32(anc), int32(v)
+		g.edges = append(g.edges, Edge{u, w})
+	}
+	g.canon = false
+	return g
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,85 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gcacc/internal/graph"
+)
+
+func TestEdgeStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, g := range []*Graph{
+		New(0), New(7), Path(100), Star(64), RandomEdges(300, 700, rng),
+	} {
+		var buf bytes.Buffer
+		if err := WriteEdgeStream(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadEdgeStream(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(g) {
+			t.Fatalf("round trip changed the graph (n=%d m=%d)", g.N(), g.M())
+		}
+	}
+}
+
+// TestEdgeStreamMatchesDenseParser: on inputs both parsers accept, the
+// sparse stream and the dense edge-list reader must agree graph-for-graph
+// (compared through the dense fingerprint).
+func TestEdgeStreamMatchesDenseParser(t *testing.T) {
+	input := "# comment\n6 4\n\n0 1\n2 3\n 4  5 \n1 0\n"
+	sp, err := ReadEdgeStream(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := graph.ReadEdgeList(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, err := sp.ToDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd.Fingerprint() != d.Fingerprint() {
+		t.Fatal("sparse and dense parsers disagree")
+	}
+	if sp.M() != 3 {
+		t.Fatalf("duplicate edge did not collapse: m=%d", sp.M())
+	}
+}
+
+func TestEdgeStreamErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"comments-only":  "# nothing\n\n",
+		"bad-header":     "x y\n",
+		"half-header":    "12\n",
+		"negative":       "-3 1\n",
+		"self-loop":      "4 1\n2 2\n",
+		"out-of-range":   "4 1\n0 4\n",
+		"missing-edges":  "4 2\n0 1\n",
+		"extra-edges":    "4 1\n0 1\n1 2\n",
+		"trailing-junk":  "4 1\n0 1 9\n",
+		"giant-header":   "999999999999999999 1\n",
+		"over-vertexcap": "67108865 0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadEdgeStream(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+// TestEdgeStreamHostileHeader: a header promising 2^62 edges must not
+// allocate for them.
+func TestEdgeStreamHostileHeader(t *testing.T) {
+	_, err := ReadEdgeStream(strings.NewReader("4 4611686018427387904\n0 1\n"))
+	if err == nil {
+		t.Fatal("hostile header accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package sparse
+
+import (
+	"runtime"
+	"sync"
+)
+
+// pool is the persistent worker pool the sparse engines run their
+// parallel phases on — the same discipline as the internal/gca stepping
+// engine: goroutines are spawned once per engine run and fed range jobs
+// over a channel, so a run with hundreds of rounds pays goroutine
+// creation once, not once per phase. Results never depend on worker
+// count or schedule: every parallel phase either writes disjoint ranges
+// or combines concurrent writes with a commutative atomic minimum.
+type pool struct {
+	workers int
+	jobs    chan poolJob
+	closed  bool
+}
+
+type poolJob struct {
+	worker int
+	lo, hi int
+	f      func(worker, lo, hi int)
+	wg     *sync.WaitGroup
+}
+
+// newPool starts workers persistent goroutines (GOMAXPROCS when
+// workers ≤ 0).
+func newPool(workers int) *pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &pool{workers: workers, jobs: make(chan poolJob)}
+	for i := 0; i < workers; i++ {
+		go p.loop()
+	}
+	return p
+}
+
+func (p *pool) loop() {
+	for j := range p.jobs {
+		j.f(j.worker, j.lo, j.hi)
+		j.wg.Done()
+	}
+}
+
+// run splits [0, total) into one contiguous chunk per worker and blocks
+// until every chunk has been processed. Chunk boundaries depend only on
+// (total, workers), never on timing.
+func (p *pool) run(total int, f func(worker, lo, hi int)) {
+	if total <= 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (total + p.workers - 1) / p.workers
+	for w := 0; w < p.workers; w++ {
+		lo := w * chunk
+		if lo >= total {
+			break
+		}
+		hi := lo + chunk
+		if hi > total {
+			hi = total
+		}
+		wg.Add(1)
+		p.jobs <- poolJob{worker: w, lo: lo, hi: hi, f: f, wg: &wg}
+	}
+	wg.Wait()
+}
+
+// close shuts the pool's goroutines down; the pool must be idle.
+func (p *pool) close() {
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+}

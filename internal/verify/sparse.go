@@ -1,0 +1,182 @@
+package verify
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"gcacc"
+	"gcacc/internal/sparse"
+)
+
+// The sparse arm of the conformance harness: the same differential
+// discipline as Run, at scales the dense corpus cannot reach. Ground
+// truth is the sparse union-find, cross-checked by an independent BFS
+// labelling (at million-vertex sizes there is no dense validator to
+// fall back on, so the harness carries its own second oracle); the
+// engines under test are the facade's sparse family plus, at small
+// sizes, every Liu–Tarjan variant individually — a half-wired variant
+// must not be able to hide behind the default.
+
+// SparseCase is one sparse corpus entry.
+type SparseCase struct {
+	// Family is the generator family ("path", "random", "rmat", …).
+	Family string
+	// Name identifies the instance, e.g. "path/n=100000".
+	Name string
+	// Graph is the input.
+	Graph *sparse.Graph
+	// WantComponents is the analytically known component count, or -1
+	// when the family does not determine it.
+	WantComponents int
+}
+
+// SparseCorpus builds the sparse conformance corpus for a size budget n
+// (clamped to ≥ 8) and seed: the dense corpus's two adversaries (path
+// depth, star contention) plus the regimes the Liu–Tarjan experiments
+// use — uniform random m = 2n, RMAT skew, planted forests with known
+// component counts, and the all-singletons empty graph.
+func SparseCorpus(n int, seed int64) []SparseCase {
+	if n < 8 {
+		n = 8
+	}
+	rng := rand.New(rand.NewSource(seed))
+	scale := log2Floor(n)
+	cases := []SparseCase{
+		{Family: "empty", Graph: sparse.New(n), WantComponents: n},
+		{Family: "path", Graph: sparse.Path(n), WantComponents: 1},
+		{Family: "cycle", Graph: sparse.Cycle(n), WantComponents: 1},
+		{Family: "star", Graph: sparse.Star(n), WantComponents: 1},
+		{Family: "matching", Graph: sparse.MatchingChain(n), WantComponents: (n + 1) / 2},
+		{Family: "random", Graph: sparse.RandomEdges(n, 2*n, rng), WantComponents: -1},
+		{Family: "rmat", Graph: sparse.RMAT(scale, 2*n, rng), WantComponents: -1},
+		{Family: "forest", Graph: sparse.PlantedForest(n, 8, rng), WantComponents: 8},
+	}
+	for i := range cases {
+		cases[i].Name = fmt.Sprintf("%s/n=%d", cases[i].Family, cases[i].Graph.N())
+	}
+	return cases
+}
+
+// SparseFamilies returns the distinct family names of a sparse corpus.
+func SparseFamilies(cases []SparseCase) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range cases {
+		if !seen[c.Family] {
+			seen[c.Family] = true
+			out = append(out, c.Family)
+		}
+	}
+	return out
+}
+
+// SparseOptions configures RunSparse.
+type SparseOptions struct {
+	// N is the corpus size budget (vertices per instance); < 8 is
+	// clamped.
+	N int
+	// Seed drives the random families.
+	Seed int64
+	// Workers is the engine worker budget (< 1 = GOMAXPROCS).
+	Workers int
+	// AllVariants additionally conforms every Liu–Tarjan variant
+	// individually (4 extra engine runs per case) — intended for small
+	// N; the variant space does not change with scale, the round counts
+	// do.
+	AllVariants bool
+}
+
+// RunSparse executes the sparse conformance harness: both sparse facade
+// engines (and the sequential baseline as a facade-path sanity check)
+// against the union-find ground truth over the sparse corpus, with a
+// BFS cross-check of the ground truth itself. The returned error covers
+// harness malfunction only; conformance violations land in
+// Report.Failures.
+func RunSparse(opt SparseOptions) (*Report, error) {
+	if opt.N < 8 {
+		opt.N = 8
+	}
+	cases := SparseCorpus(opt.N, opt.Seed)
+	rep := &Report{N: opt.N, Seed: opt.Seed, Families: SparseFamilies(cases), Cases: len(cases)}
+
+	engines := []gcacc.Engine{gcacc.EngineSequential, gcacc.EngineLiuTarjan, gcacc.EngineLogDiameter}
+	summaries := make([]*EngineSummary, 0, len(engines)+4)
+	for _, e := range engines {
+		summaries = append(summaries, &EngineSummary{Engine: e.String(), Path: "direct"})
+	}
+	var variants []sparse.Variant
+	if opt.AllVariants {
+		variants = sparse.Variants()
+		for _, v := range variants {
+			summaries = append(summaries, &EngineSummary{Engine: "liutarjan[" + v.String() + "]", Path: "direct"})
+		}
+	}
+
+	ctx := context.Background()
+	for _, c := range cases {
+		fail := func(engine, check, detail string, args ...any) {
+			rep.Failures = append(rep.Failures, Failure{
+				Case: c.Name, Engine: engine, Check: check, Detail: fmt.Sprintf(detail, args...),
+			})
+		}
+
+		// Ground truth, cross-checked by the independent BFS oracle.
+		truth := sparse.ConnectedComponentsUnionFind(c.Graph)
+		rep.Checks++
+		if !labelsEqual(truth, sparse.ConnectedComponentsBFS(c.Graph)) {
+			fail("", "ground-truth", "union-find and BFS oracles disagree")
+			continue
+		}
+		if c.WantComponents >= 0 {
+			rep.Checks++
+			if got := sparse.ComponentCount(truth); got != c.WantComponents {
+				fail("", "ground-truth", "component count %d, family expects %d", got, c.WantComponents)
+			}
+		}
+
+		for i, e := range engines {
+			s := summaries[i]
+			s.Cases++
+			res, err := gcacc.ConnectedComponentsSparse(ctx, c.Graph, gcacc.Options{Engine: e, Workers: opt.Workers})
+			rep.Checks += 2
+			s.Checks += 2
+			if err != nil {
+				s.Failures++
+				fail(s.Engine, "differential", "engine error: %v", err)
+				continue
+			}
+			if !labelsEqual(res.Labels, truth) {
+				s.Failures++
+				fail(s.Engine, "differential", "labelling deviates from union-find: %s", diffLabels(res.Labels, truth))
+			}
+			if res.Components != sparse.ComponentCount(truth) {
+				s.Failures++
+				fail(s.Engine, "differential", "component count %d, ground truth %d",
+					res.Components, sparse.ComponentCount(truth))
+			}
+		}
+
+		for i, v := range variants {
+			s := summaries[len(engines)+i]
+			s.Cases++
+			res, err := sparse.LiuTarjan(c.Graph, sparse.Options{Workers: opt.Workers, Variant: v})
+			rep.Checks++
+			s.Checks++
+			if err != nil {
+				s.Failures++
+				fail(s.Engine, "differential", "engine error: %v", err)
+				continue
+			}
+			if !labelsEqual(res.Labels, truth) {
+				s.Failures++
+				fail(s.Engine, "differential", "labelling deviates from union-find: %s", diffLabels(res.Labels, truth))
+			}
+		}
+	}
+
+	for _, s := range summaries {
+		rep.Engines = append(rep.Engines, *s)
+	}
+	return rep, nil
+}

@@ -1,6 +1,8 @@
 package gcacc_test
 
 import (
+	"os"
+	"strconv"
 	"testing"
 
 	"gcacc"
@@ -73,6 +75,45 @@ func TestConformanceServiceFaulty(t *testing.T) {
 	}
 	if !rep.OK() {
 		t.Fatalf("chaos invariant violated — a fault surfaced as a wrong answer:\n%s", rep.Format())
+	}
+}
+
+// TestConformanceSparse is the million-vertex tier's standing gate: both
+// sparse engines (and the sequential baseline) differentially verified
+// against union-find — itself cross-checked by an independent BFS
+// oracle — over the sparse corpus at n = 10⁵, with every Liu–Tarjan
+// variant conformed individually at a smaller size. GCACC_SPARSE_N
+// overrides the scale (the 10⁶ runs of EXPERIMENTS.md use it); -short
+// drops to 10⁴.
+func TestConformanceSparse(t *testing.T) {
+	n := 100_000
+	if testing.Short() {
+		n = 10_000
+	}
+	if env := os.Getenv("GCACC_SPARSE_N"); env != "" {
+		v, err := strconv.Atoi(env)
+		if err != nil {
+			t.Fatalf("GCACC_SPARSE_N=%q: %v", env, err)
+		}
+		n = v
+	}
+	rep, err := verify.RunSparse(verify.SparseOptions{N: n, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Families) < 6 {
+		t.Fatalf("sparse corpus covers %d families, want ≥ 6", len(rep.Families))
+	}
+	if !rep.OK() {
+		t.Fatalf("sparse conformance failures at n=%d:\n%s", n, rep.Format())
+	}
+
+	small, err := verify.RunSparse(verify.SparseOptions{N: 2000, Seed: 3, AllVariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !small.OK() {
+		t.Fatalf("variant conformance failures:\n%s", small.Format())
 	}
 }
 
