@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race lint fmt-check check verify chaos-smoke fuzz-smoke bench bench-json bench-smoke serve
+.PHONY: all build vet test test-race lint fmt-check check verify chaos-smoke stream-smoke fuzz-smoke bench bench-json bench-smoke serve
 
 all: check
 
@@ -35,7 +35,7 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 
-check: build vet test test-race lint chaos-smoke
+check: build vet test test-race lint chaos-smoke stream-smoke
 
 # Cross-engine conformance harness (differential + metamorphic + analytic
 # oracles over the deterministic corpus), then the sparse engines
@@ -54,6 +54,16 @@ CHAOS_REQUESTS ?= 400
 chaos-smoke:
 	GCACC_CHAOS_REQUESTS=$(CHAOS_REQUESTS) $(GO) test -race -count=1 -run '^TestChaosSoak$$' ./internal/verify
 
+# Streaming conformance tier: the stream harness (incremental vs
+# periodic-full-recompute vs union-find oracle, clean and fault-injected)
+# plus the registry soak, both under the race detector, plus a seed-
+# corpus replay of the mutation-trace fuzzer. Override GCACC_STREAM_N /
+# GCACC_STREAM_SOAK_OPS to scale. See TESTING.md "Stream".
+stream-smoke:
+	$(GO) test -race -count=1 -run '^TestConformanceStream$$' .
+	$(GO) test -race -count=1 -run '^(TestRunStream.*|TestStreamSoak)$$' ./internal/verify
+	$(GO) test -count=1 -run '^FuzzMutationTrace$$' ./internal/stream
+
 # Mutate each fuzz target briefly on top of the checked-in seed corpora.
 FUZZTIME ?= 10s
 fuzz-smoke:
@@ -62,6 +72,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzAssemble$$' -fuzztime=$(FUZZTIME) ./internal/gcasm
 	$(GO) test -run='^$$' -fuzz='^FuzzConformanceEdgeList$$' -fuzztime=$(FUZZTIME) .
 	$(GO) test -run='^$$' -fuzz='^FuzzParseEdgeStream$$' -fuzztime=$(FUZZTIME) ./internal/sparse
+	$(GO) test -run='^$$' -fuzz='^FuzzMutationTrace$$' -fuzztime=$(FUZZTIME) ./internal/stream
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

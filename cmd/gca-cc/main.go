@@ -4,6 +4,7 @@
 //	gca-cc -in graph.txt -format matrix
 //	gca-cc -in graph.el -format edges -engine pram
 //	gca-cc -in million.el -sparse -engine liutarjan
+//	gca-cc -in trace.txt -stream -engine liutarjan
 //	echo '3 1
 //	0 2' | gca-cc -format edges -stats
 //
@@ -14,6 +15,12 @@
 // edge-list representation: no n² structure is ever built, so inputs
 // with millions of vertices work — with a sparse-capable engine
 // (liutarjan, logdiameter, sequential, or the unionfind/bfs baselines).
+//
+// -stream replays a mutation trace (the "stream n" / "+ u v" / "- u v" /
+// "?" text format of internal/stream) through the incremental streaming
+// state: appends union in near-constant time, deletions force the next
+// query through a full recompute on -engine, and -recompute-period
+// schedules periodic full recomputes regardless.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"gcacc/internal/graph"
 	"gcacc/internal/pram"
 	"gcacc/internal/sparse"
+	"gcacc/internal/stream"
 )
 
 func main() {
@@ -41,8 +49,17 @@ func main() {
 		stats    = flag.Bool("stats", false, "print per-generation statistics (gca engine)")
 		quiet    = flag.Bool("quiet", false, "suppress per-vertex output")
 		sparseIn = flag.Bool("sparse", false, "stream the edge list into the sparse representation (no n² cap; edges format only)")
+		streamIn = flag.Bool("stream", false, "replay a mutation trace (internal/stream text format) incrementally")
+		period   = flag.Int("recompute-period", 0, "with -stream: force a full recompute every N accepted batches (0 = only after deletions)")
 	)
 	flag.Parse()
+
+	if *streamIn {
+		if err := runStream(*in, *engine, *period, *quiet); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *sparseIn {
 		if *format != "edges" {
@@ -131,6 +148,81 @@ func runSparse(path, engine string, quiet bool) error {
 	fmt.Printf("# vertices=%d edges=%d components=%d engine=%s representation=sparse\n",
 		g.N(), g.M(), sparse.ComponentCount(labels), engine)
 	fmt.Print(extra)
+	return nil
+}
+
+// runStream replays a mutation trace through the incremental streaming
+// state: appends union in near-constant time, deletions dirty the graph
+// and the next query pays one full recompute on the chosen engine. One
+// line per query shows the labelling evolve; the final summary counts
+// how often the incremental fast path sufficed.
+func runStream(path, engine string, period int, quiet bool) error {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }() // read-only input
+		r = f
+	}
+	tr, err := stream.ReadTrace(r)
+	if err != nil {
+		return err
+	}
+	eng, err := gcacc.ParseEngine(engine)
+	if err != nil {
+		return err
+	}
+	st, err := stream.NewState(tr.N, stream.Config{Engine: eng, RecomputePeriod: period})
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	queries, recomputes := 0, 0
+	var last *stream.Snapshot
+	for i, op := range tr.Ops {
+		switch op.Kind {
+		case stream.OpQuery:
+			snap, err := st.Components(ctx)
+			if err != nil {
+				return fmt.Errorf("op %d: %w", i, err)
+			}
+			queries++
+			if snap.Recomputed {
+				recomputes++
+			}
+			fmt.Printf("# query %d: epoch=%d components=%d engine=%s", queries, snap.Epoch, snap.Components, snap.Engine)
+			if snap.Recomputed {
+				fmt.Printf(" rounds=%d", snap.Rounds)
+			}
+			fmt.Println()
+			last = snap
+		case stream.OpAppend:
+			m, err := st.Append(ctx, op.Edges, stream.NoEpoch)
+			if err != nil {
+				return fmt.Errorf("op %d: %w", i, err)
+			}
+			fmt.Printf("# + epoch=%d applied=%d ignored=%d\n", m.Epoch, m.Applied, m.Ignored)
+		case stream.OpDelete:
+			m, err := st.Delete(ctx, op.Edges, stream.NoEpoch)
+			if err != nil {
+				return fmt.Errorf("op %d: %w", i, err)
+			}
+			fmt.Printf("# - epoch=%d applied=%d ignored=%d\n", m.Epoch, m.Applied, m.Ignored)
+		}
+	}
+	if !quiet && last != nil {
+		for v, l := range last.Labels {
+			fmt.Printf("%d %d\n", v, l)
+		}
+	}
+	info := st.Info()
+	fmt.Printf("# vertices=%d edges=%d epoch=%d queries=%d recomputes=%d engine=%s representation=stream\n",
+		info.N, info.Edges, info.Epoch, queries, recomputes, engine)
 	return nil
 }
 

@@ -19,6 +19,13 @@
 //	    only the access log sees it).
 //	GET  /v1/stats      JSON metrics snapshot (queue, cache, latencies,
 //	    retries, breaker state, fallbacks, injected-fault counters).
+//	PUT/GET/DELETE /v1/graphs/{name} · POST/DELETE /v1/graphs/{name}/edges
+//	GET /v1/graphs/{name}/components · GET /v1/graphs
+//	    The named-graph streaming API (stream.go): long-lived graphs
+//	    absorbing edge appends incrementally, with ?epoch=N optimistic
+//	    concurrency, deletion-tolerant recompute, and per-registry
+//	    admission limits (-stream-* flags; -stream-graphs 0 disables).
+//	    Stats surface at /debug/vars under "gcacc_stream".
 //	GET  /healthz       liveness probe.
 //	GET  /debug/vars    the same snapshot via expvar.
 //
@@ -57,6 +64,7 @@ import (
 	"gcacc/internal/fault"
 	"gcacc/internal/graph"
 	"gcacc/internal/service"
+	"gcacc/internal/stream"
 )
 
 func main() {
@@ -82,6 +90,13 @@ func main() {
 		faultSpec = flag.String("fault", "", "service-wide fault-injection schedule, e.g. seed=7,steperr=0.01,stepdelay=0.05:200us (empty = none)")
 		chaos     = flag.Bool("chaos", false, "accept per-request fault schedules via the `fault` query parameter")
 		seed      = flag.Int64("seed", 0, "seed for the deterministic retry-backoff jitter")
+
+		streamGraphs   = flag.Int("stream-graphs", 64, "max named streaming graphs (0 disables the /v1/graphs API)")
+		streamVertices = flag.Int("stream-max-vertices", 1<<20, "largest named streaming graph")
+		streamEdges    = flag.Int("stream-max-edges", 0, "live-edge budget per streaming graph (0 = unbounded)")
+		streamBatch    = flag.Int("stream-max-batch", 65536, "largest accepted mutation batch")
+		streamEngine   = flag.String("stream-engine", "liutarjan", "recompute engine for streaming graphs")
+		streamPeriod   = flag.Int("stream-recompute-period", 0, "force a full recompute every N accepted batches (0 = only after deletions)")
 	)
 	flag.Parse()
 
@@ -117,6 +132,24 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/components", componentsHandler(svc, *maxBody, *chaos))
+	if *streamGraphs > 0 {
+		eng, err := gcacc.ParseEngine(*streamEngine)
+		if err != nil {
+			log.Fatalf("gca-serve: -stream-engine: %v", err)
+		}
+		reg := stream.NewRegistry(stream.RegistryConfig{
+			MaxGraphs:       *streamGraphs,
+			MaxVertices:     *streamVertices,
+			MaxEdges:        *streamEdges,
+			MaxBatch:        *streamBatch,
+			Engine:          eng,
+			Workers:         *simWorkers,
+			RecomputePeriod: *streamPeriod,
+			Fault:           inj,
+		})
+		newStreamAPI(reg, *maxBody).register(mux)
+		expvar.Publish("gcacc_stream", expvar.Func(func() any { return reg.Stats() }))
+	}
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Stats())
 	})

@@ -20,6 +20,16 @@
 // baseline over the sparse corpus (paths, stars, random m=2n, RMAT,
 // planted forests) against union-find, at sizes far beyond the dense
 // corpus — n = 10⁶ completes in seconds.
+//
+// With -stream-n the stream harness runs instead (verify.RunStream):
+// seeded mutation traces over the sparse corpus replayed against the
+// incremental streaming state, a periodic-full-recompute replica and a
+// dense GCA-recompute replica, every query checked against a
+// from-scratch union-find oracle. -fault replays the same traces under
+// injected mid-batch aborts and recompute-step faults:
+//
+//	gca-verify -stream-n 10000 -format text
+//	gca-verify -stream-n 1000 -fault seed=9,batcherr=0.1,steperr=0.02
 package main
 
 import (
@@ -47,8 +57,21 @@ func main() {
 		failuresCap = flag.Int("max-failures", 0, "truncate the failure list in the report (0 = keep all)")
 		sparseN     = flag.Int("sparse-n", 0, "run the sparse harness at this vertex budget instead (edge-list engines vs union-find)")
 		noVariants  = flag.Bool("no-variants", false, "sparse harness: skip the per-variant Liu–Tarjan runs")
+		streamN     = flag.Int("stream-n", 0, "run the stream harness at this vertex budget instead (mutation traces vs union-find oracle)")
 	)
 	flag.Parse()
+
+	if *streamN > 0 {
+		rep, err := verify.RunStream(verify.StreamOptions{
+			N: *streamN, Seed: *seed, Workers: *workers, FaultSpec: *faultSpec,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gca-verify:", err)
+			os.Exit(2)
+		}
+		emit(rep, *format, *failuresCap)
+		return
+	}
 
 	if *sparseN > 0 {
 		rep, err := verify.RunSparse(verify.SparseOptions{

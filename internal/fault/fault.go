@@ -58,11 +58,18 @@ type Config struct {
 	// barrier but never change results.
 	StallP float64
 	Stall  time.Duration
+	// BatchErrorP is the per-mutation-batch probability that a stream
+	// batch aborts before any edge is applied — the mid-batch-abort
+	// fault of the stream chaos tier. The decision fires before state is
+	// touched, so an aborted batch is atomic: the graph is unchanged and
+	// the caller may retry.
+	BatchErrorP float64
 }
 
 // Enabled reports whether the config injects anything at all.
 func (c Config) Enabled() bool {
-	return c.StepErrorP > 0 || (c.StepDelayP > 0 && c.StepDelay > 0) || (c.StallP > 0 && c.Stall > 0)
+	return c.StepErrorP > 0 || (c.StepDelayP > 0 && c.StepDelay > 0) ||
+		(c.StallP > 0 && c.Stall > 0) || c.BatchErrorP > 0
 }
 
 // String renders the config in the ParseSpec grammar.
@@ -77,6 +84,9 @@ func (c Config) String() string {
 	if c.StallP > 0 && c.Stall > 0 {
 		parts = append(parts, fmt.Sprintf("stall=%g:%s", c.StallP, c.Stall))
 	}
+	if c.BatchErrorP > 0 {
+		parts = append(parts, fmt.Sprintf("batcherr=%g", c.BatchErrorP))
+	}
 	return strings.Join(parts, ",")
 }
 
@@ -86,8 +96,9 @@ func (c Config) String() string {
 //
 // Keys: seed=N (decision seed), steperr=P (per-step transient-error
 // probability), stepdelay=P:DUR (per-step latency), stall=P:DUR
-// (per-shard worker stall). Probabilities are in [0,1]; durations use
-// time.ParseDuration syntax. An empty spec is the zero Config.
+// (per-shard worker stall), batcherr=P (per-stream-batch abort).
+// Probabilities are in [0,1]; durations use time.ParseDuration syntax.
+// An empty spec is the zero Config.
 func ParseSpec(spec string) (Config, error) {
 	var c Config
 	if strings.TrimSpace(spec) == "" {
@@ -127,8 +138,14 @@ func ParseSpec(spec string) (Config, error) {
 				return Config{}, fmt.Errorf("fault: stall: %w", err)
 			}
 			c.StallP, c.Stall = p, d
+		case "batcherr":
+			p, err := parseProb(val)
+			if err != nil {
+				return Config{}, fmt.Errorf("fault: batcherr: %w", err)
+			}
+			c.BatchErrorP = p
 		default:
-			return Config{}, fmt.Errorf("fault: unknown spec key %q (seed|steperr|stepdelay|stall)", key)
+			return Config{}, fmt.Errorf("fault: unknown spec key %q (seed|steperr|stepdelay|stall|batcherr)", key)
 		}
 	}
 	return c, nil
@@ -171,10 +188,13 @@ type Counters struct {
 	StepErrors   int64 `json:"step_errors"`
 	StepDelays   int64 `json:"step_delays"`
 	WorkerStalls int64 `json:"worker_stalls"`
+	BatchAborts  int64 `json:"batch_aborts"`
 }
 
 // Any reports whether anything was injected.
-func (c Counters) Any() bool { return c.StepErrors+c.StepDelays+c.WorkerStalls > 0 }
+func (c Counters) Any() bool {
+	return c.StepErrors+c.StepDelays+c.WorkerStalls+c.BatchAborts > 0
+}
 
 // Injector hands out deterministic per-run fault schedules and counts
 // what it injects. Safe for concurrent use.
@@ -186,6 +206,8 @@ type Injector struct {
 	stepErrors   atomic.Int64
 	stepDelays   atomic.Int64
 	workerStalls atomic.Int64
+	batchAborts  atomic.Int64
+	batches      atomic.Uint64
 }
 
 // New builds an injector over the real clock.
@@ -209,6 +231,7 @@ func (in *Injector) Counters() Counters {
 		StepErrors:   in.stepErrors.Load(),
 		StepDelays:   in.stepDelays.Load(),
 		WorkerStalls: in.workerStalls.Load(),
+		BatchAborts:  in.batchAborts.Load(),
 	}
 }
 
@@ -218,6 +241,7 @@ const (
 	siteStepError = 0x5e9f
 	siteStepDelay = 0x1d2b
 	siteStall     = 0x7a31
+	siteBatch     = 0x3c47
 )
 
 // Run is one engine run's decision stream. Each decision is a pure
@@ -270,6 +294,23 @@ func (r *Run) WorkerStall(ctx context.Context, worker int) {
 		// The stall is pure delay; an interrupt is not an error here.
 		_ = r.inj.clock.Sleep(ctx, cfg.Stall)
 	}
+}
+
+// BeforeBatch applies the per-batch abort schedule for the streaming
+// tier: decision n of the injector-wide batch stream may fail with an
+// error wrapping ErrTransient. Callers invoke it before applying any
+// edge, so an aborted batch leaves the graph untouched.
+func (in *Injector) BeforeBatch() error {
+	if in.cfg.BatchErrorP <= 0 {
+		return nil
+	}
+	n := in.batches.Add(1)
+	seed := splitmix64(uint64(in.cfg.Seed)) ^ siteBatch
+	if Uniform01(seed, n) < in.cfg.BatchErrorP {
+		in.batchAborts.Add(1)
+		return fmt.Errorf("fault: injected batch abort (batch %d): %w", n, ErrTransient)
+	}
+	return nil
 }
 
 // splitmix64 is the SplitMix64 finalizer — a fast, well-mixed hash used

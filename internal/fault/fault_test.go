@@ -43,6 +43,8 @@ func TestParseSpecRoundTrip(t *testing.T) {
 		"seed=3,steperr=0.25,stepdelay=0.05:200µs",
 		"seed=-1,stall=0.02:1ms",
 		"seed=0,steperr=1,stepdelay=1:1s,stall=1:1h0m0s",
+		"seed=11,batcherr=0.25",
+		"seed=2,steperr=0.1,batcherr=1",
 	} {
 		c, err := ParseSpec(spec)
 		if err != nil {
@@ -67,6 +69,8 @@ func TestParseSpecErrors(t *testing.T) {
 		"stepdelay=0.5",       // missing duration
 		"stepdelay=0.5:nope",  // bad duration
 		"stall=0.5:-1ms",      // negative duration
+		"batcherr=2",          // probability out of range
+		"batcherr=oops",       // bad float
 		"unknown=1",           // unknown key
 		"seed=1,,steperr=zzz", // bad value after empty term
 	} {
@@ -95,6 +99,7 @@ func TestConfigEnabled(t *testing.T) {
 		{Config{StepDelayP: 0.1, StepDelay: time.Millisecond}, true},
 		{Config{StallP: 0.1}, false},
 		{Config{StallP: 0.1, Stall: time.Millisecond}, true},
+		{Config{BatchErrorP: 0.1}, true},
 	}
 	for _, tc := range cases {
 		if got := tc.c.Enabled(); got != tc.want {
@@ -290,5 +295,39 @@ func TestNilInjectorHooks(t *testing.T) {
 	h = New(Config{StepErrorP: 0.5}).GCAHooks(context.Background())
 	if h.BeforeStep == nil || h.WorkerStall == nil {
 		t.Fatal("enabled injector produced zero hooks")
+	}
+}
+
+// TestBeforeBatch checks the stream batch-abort site: deterministic per
+// (seed, batch ordinal), transient, counted, and inert at P=0.
+func TestBeforeBatch(t *testing.T) {
+	off := New(Config{Seed: 5})
+	for i := 0; i < 100; i++ {
+		if err := off.BeforeBatch(); err != nil {
+			t.Fatalf("BeforeBatch with BatchErrorP=0 injected: %v", err)
+		}
+	}
+
+	record := func() []bool {
+		in := New(Config{Seed: 5, BatchErrorP: 0.5})
+		got := make([]bool, 200)
+		for i := range got {
+			err := in.BeforeBatch()
+			if err != nil && !IsTransient(err) {
+				t.Fatalf("injected batch abort not transient: %v", err)
+			}
+			got[i] = err != nil
+		}
+		c := in.Counters()
+		if c.BatchAborts == 0 || !c.Any() {
+			t.Fatalf("no batch aborts counted at P=0.5: %+v", c)
+		}
+		return got
+	}
+	a, b := record(), record()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("batch-abort schedule not deterministic at ordinal %d", i)
+		}
 	}
 }

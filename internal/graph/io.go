@@ -27,6 +27,45 @@ import (
 // (n² bits ≈ 32 MiB of adjacency at the cap).
 const MaxParseVertices = 16384
 
+// parseFields splits a data line into exactly want strict non-negative
+// decimals: digits only — no sign marks, no trailing junk. This matches
+// the sparse streaming parser token for token, so the dense and sparse
+// edge-list parsers accept exactly the same inputs (pinned by the parity
+// test in internal/sparse).
+func parseFields(line string, want int) ([]int64, error) {
+	fields := strings.Fields(line)
+	if len(fields) != want {
+		return nil, fmt.Errorf("want %d numbers, got %d", want, len(fields))
+	}
+	out := make([]int64, want)
+	for i, f := range fields {
+		v, err := parseDecimal(f)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func parseDecimal(s string) (int64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty number")
+	}
+	var v int64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad number %q", s)
+		}
+		if v > (1<<62)/10 {
+			return 0, fmt.Errorf("number %q overflows", s)
+		}
+		v = v*10 + int64(c-'0')
+	}
+	return v, nil
+}
+
 // WriteMatrix writes g in "matrix" format.
 func WriteMatrix(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
@@ -122,25 +161,24 @@ func ReadWeightedEdgeList(r io.Reader) (*Weighted, error) {
 			continue
 		}
 		if !header {
-			if _, err := fmt.Sscanf(line, "%d %d", &n, &m); err != nil {
+			vals, err := parseFields(line, 2)
+			if err != nil {
 				return nil, fmt.Errorf("graph: bad weighted header %q: %w", line, err)
 			}
-			if n < 0 || m < 0 {
-				return nil, fmt.Errorf("graph: negative counts in header %q", line)
+			if vals[0] > MaxParseVertices {
+				return nil, fmt.Errorf("graph: header asks for %d vertices, parser cap is %d", vals[0], MaxParseVertices)
 			}
-			if n > MaxParseVertices {
-				return nil, fmt.Errorf("graph: header asks for %d vertices, parser cap is %d", n, MaxParseVertices)
-			}
+			n, m = int(vals[0]), int(vals[1])
 			g = NewWeighted(n)
 			header = true
 			continue
 		}
-		var u, v int
-		var w int64
-		if _, err := fmt.Sscanf(line, "%d %d %d", &u, &v, &w); err != nil {
+		vals, err := parseFields(line, 3)
+		if err != nil {
 			return nil, fmt.Errorf("graph: bad weighted edge line %q: %w", line, err)
 		}
-		if u < 0 || u >= n || v < 0 || v >= n || u == v {
+		u, v, w := int(vals[0]), int(vals[1]), vals[2]
+		if u >= n || v >= n || u == v {
 			return nil, fmt.Errorf("graph: invalid edge (%d,%d)", u, v)
 		}
 		if w <= 0 {
@@ -190,24 +228,24 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			continue
 		}
 		if !header {
-			if _, err := fmt.Sscanf(line, "%d %d", &n, &m); err != nil {
+			vals, err := parseFields(line, 2)
+			if err != nil {
 				return nil, fmt.Errorf("graph: bad edge-list header %q: %w", line, err)
 			}
-			if n < 0 || m < 0 {
-				return nil, fmt.Errorf("graph: negative counts in header %q", line)
+			if vals[0] > MaxParseVertices {
+				return nil, fmt.Errorf("graph: header asks for %d vertices, parser cap is %d", vals[0], MaxParseVertices)
 			}
-			if n > MaxParseVertices {
-				return nil, fmt.Errorf("graph: header asks for %d vertices, parser cap is %d", n, MaxParseVertices)
-			}
+			n, m = int(vals[0]), int(vals[1])
 			g = New(n)
 			header = true
 			continue
 		}
-		var u, v int
-		if _, err := fmt.Sscanf(line, "%d %d", &u, &v); err != nil {
+		vals, err := parseFields(line, 2)
+		if err != nil {
 			return nil, fmt.Errorf("graph: bad edge line %q: %w", line, err)
 		}
-		if u < 0 || u >= n || v < 0 || v >= n {
+		u, v := int(vals[0]), int(vals[1])
+		if u >= n || v >= n {
 			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, n)
 		}
 		if u == v {

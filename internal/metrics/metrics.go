@@ -1,0 +1,125 @@
+// Package metrics holds the stdlib-only instrumentation primitives
+// shared by the serving layer and the streaming tier: counters, gauges
+// and a fixed-bucket latency histogram. The system needs numbers, not a
+// metrics framework — everything here is exact integers behind atomics,
+// snapshotted into JSON-able structs for stats endpoints and expvar.
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; n must be non-negative to keep the counter monotone.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous level (queue depth, jobs in flight).
+type Gauge struct{ v atomic.Int64 }
+
+// Add moves the level by n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram records durations in exponential buckets of microseconds:
+// bucket i counts observations in [2^i µs, 2^(i+1) µs), with the last
+// bucket open-ended. 30 buckets reach ~9 minutes — far beyond any
+// deadline the service admits.
+const histBuckets = 30
+
+// Histogram is a fixed-bucket latency histogram. The zero value is
+// ready to use; it is safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	buckets [histBuckets]int64
+}
+
+// Observe records one duration (negative durations clamp to zero).
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := d.Microseconds()
+	b := 0
+	for b < histBuckets-1 && us >= int64(1)<<uint(b+1) {
+		b++
+	}
+	h.mu.Lock()
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	h.buckets[b]++
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is the JSON form of a latency histogram. Quantiles
+// are upper-bucket-boundary estimates: within a factor of two of the
+// exact value by construction.
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	MinUS  int64   `json:"min_us"`
+	MaxUS  int64   `json:"max_us"`
+	P50US  int64   `json:"p50_us"`
+	P90US  int64   `json:"p90_us"`
+	P99US  int64   `json:"p99_us"`
+}
+
+// Snapshot freezes the histogram into its JSON form.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count}
+	if h.count == 0 {
+		return s
+	}
+	s.MeanUS = float64(h.sum.Microseconds()) / float64(h.count)
+	s.MinUS = h.min.Microseconds()
+	s.MaxUS = h.max.Microseconds()
+	s.P50US = h.quantileLocked(0.50)
+	s.P90US = h.quantileLocked(0.90)
+	s.P99US = h.quantileLocked(0.99)
+	return s
+}
+
+// quantileLocked returns the upper boundary of the bucket holding the
+// q-quantile observation; the caller holds h.mu.
+func (h *Histogram) quantileLocked(q float64) int64 {
+	rank := int64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen int64
+	for b, c := range h.buckets {
+		seen += c
+		if seen > rank {
+			if b == histBuckets-1 {
+				return h.max.Microseconds()
+			}
+			// Upper bucket boundary, clamped so an estimate never
+			// exceeds the exact observed maximum.
+			return min(int64(1)<<uint(b+1), h.max.Microseconds())
+		}
+	}
+	return h.max.Microseconds()
+}

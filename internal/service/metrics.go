@@ -1,146 +1,45 @@
 package service
 
 import (
-	"sync"
-	"sync/atomic"
-	"time"
-
 	"gcacc/internal/fault"
+	"gcacc/internal/metrics"
 )
 
-// Stdlib-only metrics: counters, gauges and a fixed-bucket latency
-// histogram. The serving layer needs numbers, not a metrics framework —
-// everything here is exact integers behind atomics, snapshotted into a
-// JSON-able struct for GET /v1/stats and expvar.
+// The counter/gauge/histogram primitives live in internal/metrics so the
+// streaming tier can share them; this file keeps the service-specific
+// registry and the JSON snapshot shape.
 
-// counter is a monotonically increasing event count.
-type counter struct{ v atomic.Int64 }
+// HistogramSnapshot is re-exported so Stats consumers keep compiling
+// against the service package alone.
+type HistogramSnapshot = metrics.HistogramSnapshot
 
-func (c *counter) inc()         { c.v.Add(1) }
-func (c *counter) add(n int64)  { c.v.Add(n) }
-func (c *counter) value() int64 { return c.v.Load() }
+// serviceMetrics is the registry of every counter the service maintains.
+type serviceMetrics struct {
+	submitted       metrics.Counter // Submit calls, before admission
+	accepted        metrics.Counter // jobs that entered the queue
+	rejectedFull    metrics.Counter // admission failures: queue at capacity
+	rejectedInvalid metrics.Counter // admission failures: bad engine / nil or oversized graph
+	rejectedClosed  metrics.Counter // admission failures: service shutting down
+	rejectedExpired metrics.Counter // admission failures: context already done at Submit
+	completed       metrics.Counter // jobs that returned labels
+	failed          metrics.Counter // jobs that returned a non-context error
+	canceled        metrics.Counter // jobs aborted by their context
 
-// gauge is an instantaneous level (queue depth, jobs in flight).
-type gauge struct{ v atomic.Int64 }
+	retries          metrics.Counter // transient-failure retries of engine attempts
+	fallbackBreaker  metrics.Counter // attempts degraded to sequential because a breaker was open
+	degradedOverload metrics.Counter // jobs demoted to sequential at dequeue (queue depth ≥ DegradeDepth)
+	enginePanics     metrics.Counter // engine runs contained by the panic recovery
+	cacheHits        metrics.Counter
+	cacheMisses      metrics.Counter
+	cacheEvictions   metrics.Counter
+	coalesced        metrics.Counter // requests served by joining an in-flight identical job
+	generations      metrics.Counter // total engine generations/steps executed
 
-func (g *gauge) add(n int64)  { g.v.Add(n) }
-func (g *gauge) value() int64 { return g.v.Load() }
+	queueDepth metrics.Gauge
+	inFlight   metrics.Gauge
 
-// histogram records durations in exponential buckets of microseconds:
-// bucket i counts observations in [2^i µs, 2^(i+1) µs), with the last
-// bucket open-ended. 30 buckets reach ~9 minutes — far beyond any
-// deadline the service admits.
-const histBuckets = 30
-
-type histogram struct {
-	mu      sync.Mutex
-	count   int64
-	sum     time.Duration
-	min     time.Duration
-	max     time.Duration
-	buckets [histBuckets]int64
-}
-
-func (h *histogram) observe(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	us := d.Microseconds()
-	b := 0
-	for b < histBuckets-1 && us >= int64(1)<<uint(b+1) {
-		b++
-	}
-	h.mu.Lock()
-	if h.count == 0 || d < h.min {
-		h.min = d
-	}
-	if d > h.max {
-		h.max = d
-	}
-	h.count++
-	h.sum += d
-	h.buckets[b]++
-	h.mu.Unlock()
-}
-
-// HistogramSnapshot is the JSON form of a latency histogram. Quantiles
-// are upper-bucket-boundary estimates: within a factor of two of the
-// exact value by construction.
-type HistogramSnapshot struct {
-	Count  int64   `json:"count"`
-	MeanUS float64 `json:"mean_us"`
-	MinUS  int64   `json:"min_us"`
-	MaxUS  int64   `json:"max_us"`
-	P50US  int64   `json:"p50_us"`
-	P90US  int64   `json:"p90_us"`
-	P99US  int64   `json:"p99_us"`
-}
-
-func (h *histogram) snapshot() HistogramSnapshot {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	s := HistogramSnapshot{Count: h.count}
-	if h.count == 0 {
-		return s
-	}
-	s.MeanUS = float64(h.sum.Microseconds()) / float64(h.count)
-	s.MinUS = h.min.Microseconds()
-	s.MaxUS = h.max.Microseconds()
-	s.P50US = h.quantileLocked(0.50)
-	s.P90US = h.quantileLocked(0.90)
-	s.P99US = h.quantileLocked(0.99)
-	return s
-}
-
-// quantileLocked returns the upper boundary of the bucket holding the
-// q-quantile observation; the caller holds h.mu.
-func (h *histogram) quantileLocked(q float64) int64 {
-	rank := int64(q * float64(h.count))
-	if rank >= h.count {
-		rank = h.count - 1
-	}
-	var seen int64
-	for b, c := range h.buckets {
-		seen += c
-		if seen > rank {
-			if b == histBuckets-1 {
-				return h.max.Microseconds()
-			}
-			// Upper bucket boundary, clamped so an estimate never
-			// exceeds the exact observed maximum.
-			return min(int64(1)<<uint(b+1), h.max.Microseconds())
-		}
-	}
-	return h.max.Microseconds()
-}
-
-// metrics is the registry of every counter the service maintains.
-type metrics struct {
-	submitted       counter // Submit calls, before admission
-	accepted        counter // jobs that entered the queue
-	rejectedFull    counter // admission failures: queue at capacity
-	rejectedInvalid counter // admission failures: bad engine / nil or oversized graph
-	rejectedClosed  counter // admission failures: service shutting down
-	rejectedExpired counter // admission failures: context already done at Submit
-	completed       counter // jobs that returned labels
-	failed          counter // jobs that returned a non-context error
-	canceled        counter // jobs aborted by their context
-
-	retries          counter // transient-failure retries of engine attempts
-	fallbackBreaker  counter // attempts degraded to sequential because a breaker was open
-	degradedOverload counter // jobs demoted to sequential at dequeue (queue depth ≥ DegradeDepth)
-	enginePanics     counter // engine runs contained by the panic recovery
-	cacheHits        counter
-	cacheMisses      counter
-	cacheEvictions   counter
-	coalesced        counter // requests served by joining an in-flight identical job
-	generations      counter // total engine generations/steps executed
-
-	queueDepth gauge
-	inFlight   gauge
-
-	queueWait histogram // enqueue → worker pickup
-	runTime   histogram // engine execution only
+	queueWait metrics.Histogram // enqueue → worker pickup
+	runTime   metrics.Histogram // engine execution only
 }
 
 // Stats is the JSON snapshot served by GET /v1/stats and expvar.

@@ -215,7 +215,7 @@ type Service struct {
 	cfg       Config
 	simPerJob int
 	queue     chan *job
-	metrics   metrics
+	metrics   serviceMetrics
 	wg        sync.WaitGroup
 	clock     fault.Clock
 
@@ -309,28 +309,28 @@ func (s *Service) Config() Config { return s.cfg }
 // begun, ErrTooLarge/ErrNilGraph/ErrInvalidEngine/ErrDenseOnly for
 // inadmissible requests.
 func (s *Service) Submit(ctx context.Context, req Request) (*Result, error) {
-	s.metrics.submitted.inc()
+	s.metrics.submitted.Inc()
 	if req.Graph == nil {
-		s.metrics.rejectedInvalid.inc()
+		s.metrics.rejectedInvalid.Inc()
 		return nil, ErrNilGraph
 	}
 	if !req.Engine.Valid() {
-		s.metrics.rejectedInvalid.inc()
+		s.metrics.rejectedInvalid.Inc()
 		return nil, fmt.Errorf("%w: %d", ErrInvalidEngine, int(req.Engine))
 	}
 	if req.Graph.N() > s.cfg.MaxVertices {
-		s.metrics.rejectedInvalid.inc()
+		s.metrics.rejectedInvalid.Inc()
 		return nil, fmt.Errorf("%w: %d vertices, cap %d", ErrTooLarge, req.Graph.N(), s.cfg.MaxVertices)
 	}
 	if s.cfg.DenseCutoff > 0 && !req.Engine.Sparse() && req.Graph.N() > s.cfg.DenseCutoff {
-		s.metrics.rejectedInvalid.inc()
+		s.metrics.rejectedInvalid.Inc()
 		return nil, fmt.Errorf("%w: engine %q cannot process %d vertices (dense cutoff %d); use a sparse-capable engine (e.g. liutarjan, logdiameter, sequential)",
 			ErrDenseOnly, req.Engine, req.Graph.N(), s.cfg.DenseCutoff)
 	}
 	if err := ctx.Err(); err != nil {
 		// A zero-budget deadline is rejected here, before the queue: it
 		// never occupies a slot and never reaches a simulator.
-		s.metrics.rejectedExpired.inc()
+		s.metrics.rejectedExpired.Inc()
 		return nil, err
 	}
 
@@ -347,18 +347,18 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Result, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		s.metrics.rejectedClosed.inc()
+		s.metrics.rejectedClosed.Inc()
 		return nil, ErrClosed
 	}
 	if useCache {
 		if res, ok := s.cache.get(key); ok {
 			s.mu.Unlock()
-			s.metrics.cacheHits.inc()
+			s.metrics.cacheHits.Inc()
 			return res.forCaller(true, false), nil
 		}
 		if fl, ok := s.inflight[key]; ok {
 			s.mu.Unlock()
-			s.metrics.coalesced.inc()
+			s.metrics.coalesced.Inc()
 			return s.await(ctx, fl)
 		}
 	}
@@ -397,16 +397,16 @@ func (s *Service) Submit(ctx context.Context, req Request) (*Result, error) {
 		if cancel != nil {
 			cancel()
 		}
-		s.metrics.rejectedFull.inc()
+		s.metrics.rejectedFull.Inc()
 		return nil, ErrQueueFull
 	}
 	if useCache {
 		s.inflight[key] = jb.fl
-		s.metrics.cacheMisses.inc()
+		s.metrics.cacheMisses.Inc()
 	}
 	s.mu.Unlock()
-	s.metrics.accepted.inc()
-	s.metrics.queueDepth.add(1)
+	s.metrics.accepted.Inc()
+	s.metrics.queueDepth.Add(1)
 
 	return s.await(ctx, jb.fl)
 }
@@ -429,16 +429,16 @@ func (s *Service) await(ctx context.Context, fl *flight) (*Result, error) {
 func (s *Service) worker() {
 	defer s.wg.Done()
 	for jb := range s.queue {
-		s.metrics.queueDepth.add(-1)
+		s.metrics.queueDepth.Add(-1)
 		s.runJob(jb)
 	}
 }
 
 func (s *Service) runJob(jb *job) {
 	wait := s.clock.Now().Sub(jb.enqueuedAt)
-	s.metrics.queueWait.observe(wait)
-	s.metrics.inFlight.add(1)
-	defer s.metrics.inFlight.add(-1)
+	s.metrics.queueWait.Observe(wait)
+	s.metrics.inFlight.Add(1)
+	defer s.metrics.inFlight.Add(-1)
 
 	res, err := s.executeJob(jb, wait)
 	if jb.cancel != nil {
@@ -447,14 +447,14 @@ func (s *Service) runJob(jb *job) {
 
 	switch {
 	case err == nil:
-		s.metrics.completed.inc()
+		s.metrics.completed.Inc()
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		s.metrics.canceled.inc()
+		s.metrics.canceled.Inc()
 	default:
 		if errors.Is(err, ErrEnginePanic) {
-			s.metrics.enginePanics.inc()
+			s.metrics.enginePanics.Inc()
 		}
-		s.metrics.failed.inc()
+		s.metrics.failed.Inc()
 	}
 
 	// Fill the cache and retire the flight atomically, so the next
@@ -466,7 +466,7 @@ func (s *Service) runJob(jb *job) {
 	if jb.useCache {
 		s.mu.Lock()
 		if err == nil && !res.Degraded {
-			s.metrics.cacheEvictions.add(int64(s.cache.add(jb.key, res)))
+			s.metrics.cacheEvictions.Add(int64(s.cache.add(jb.key, res)))
 		}
 		delete(s.inflight, jb.key)
 		s.mu.Unlock()
@@ -495,9 +495,9 @@ func (s *Service) executeJob(jb *job, wait time.Duration) (res *Result, err erro
 
 	engine, degraded := jb.req.Engine, false
 	if s.cfg.DegradeDepth > 0 && engine != gcacc.EngineSequential &&
-		s.metrics.queueDepth.value() >= int64(s.cfg.DegradeDepth) {
+		s.metrics.queueDepth.Value() >= int64(s.cfg.DegradeDepth) {
 		engine, degraded = gcacc.EngineSequential, true
-		s.metrics.degradedOverload.inc()
+		s.metrics.degradedOverload.Inc()
 	}
 	inj := jb.req.Fault
 	if inj == nil {
@@ -513,7 +513,7 @@ func (s *Service) executeJob(jb *job, wait time.Duration) (res *Result, err erro
 				return nil, fmt.Errorf("%w: engine %s", ErrBreakerOpen, engine)
 			}
 			runEngine, runDegraded, abr = gcacc.EngineSequential, true, nil
-			s.metrics.fallbackBreaker.inc()
+			s.metrics.fallbackBreaker.Inc()
 		}
 		res, err := s.attempt(jb, runEngine, runDegraded, wait, retries, inj)
 		if err == nil {
@@ -529,7 +529,7 @@ func (s *Service) executeJob(jb *job, wait time.Duration) (res *Result, err erro
 			return nil, err
 		}
 		retries++
-		s.metrics.retries.inc()
+		s.metrics.retries.Inc()
 		if serr := s.clock.Sleep(jb.ctx, s.backoff(attempt)); serr != nil {
 			return nil, serr
 		}
@@ -556,8 +556,8 @@ func (s *Service) attempt(jb *job, engine gcacc.Engine, degraded bool, wait time
 	if err != nil {
 		return nil, err
 	}
-	s.metrics.runTime.observe(run)
-	s.metrics.generations.add(int64(rep.Generations + rep.PRAMSteps))
+	s.metrics.runTime.Observe(run)
+	s.metrics.generations.Add(int64(rep.Generations + rep.PRAMSteps))
 	return &Result{
 		Labels:      rep.Labels,
 		Components:  rep.Components,
@@ -612,33 +612,33 @@ func (s *Service) Stats() Stats {
 		Workers:          s.cfg.Workers,
 		SimWorkersPerJob: s.simPerJob,
 		QueueCapacity:    s.cfg.QueueDepth,
-		QueueDepth:       m.queueDepth.value(),
-		InFlight:         m.inFlight.value(),
-		Submitted:        m.submitted.value(),
-		Accepted:         m.accepted.value(),
-		RejectedFull:     m.rejectedFull.value(),
-		RejectedInvalid:  m.rejectedInvalid.value(),
-		RejectedClosed:   m.rejectedClosed.value(),
-		RejectedExpired:  m.rejectedExpired.value(),
-		Completed:        m.completed.value(),
-		Failed:           m.failed.value(),
-		Canceled:         m.canceled.value(),
-		Retries:          m.retries.value(),
+		QueueDepth:       m.queueDepth.Value(),
+		InFlight:         m.inFlight.Value(),
+		Submitted:        m.submitted.Value(),
+		Accepted:         m.accepted.Value(),
+		RejectedFull:     m.rejectedFull.Value(),
+		RejectedInvalid:  m.rejectedInvalid.Value(),
+		RejectedClosed:   m.rejectedClosed.Value(),
+		RejectedExpired:  m.rejectedExpired.Value(),
+		Completed:        m.completed.Value(),
+		Failed:           m.failed.Value(),
+		Canceled:         m.canceled.Value(),
+		Retries:          m.retries.Value(),
 		BreakerTrips:     breakerTrips,
 		BreakerOpen:      breakerOpen,
-		FallbackBreaker:  m.fallbackBreaker.value(),
-		DegradedOverload: m.degradedOverload.value(),
-		EnginePanics:     m.enginePanics.value(),
+		FallbackBreaker:  m.fallbackBreaker.Value(),
+		DegradedOverload: m.degradedOverload.Value(),
+		EnginePanics:     m.enginePanics.Value(),
 		Faults:           faults,
 		CacheCapacity:    max(s.cfg.CacheEntries, 0),
 		CacheLen:         cacheLen,
-		CacheHits:        m.cacheHits.value(),
-		CacheMisses:      m.cacheMisses.value(),
-		CacheEvictions:   m.cacheEvictions.value(),
-		Coalesced:        m.coalesced.value(),
-		Generations:      m.generations.value(),
-		QueueWait:        m.queueWait.snapshot(),
-		RunTime:          m.runTime.snapshot(),
+		CacheHits:        m.cacheHits.Value(),
+		CacheMisses:      m.cacheMisses.Value(),
+		CacheEvictions:   m.cacheEvictions.Value(),
+		Coalesced:        m.coalesced.Value(),
+		Generations:      m.generations.Value(),
+		QueueWait:        m.queueWait.Snapshot(),
+		RunTime:          m.runTime.Snapshot(),
 	}
 }
 

@@ -36,7 +36,7 @@ const maxPrealloc = 1 << 20
 // header.
 func ReadEdgeStream(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
 	var n, m int
 	header := false
 	var g *Graph

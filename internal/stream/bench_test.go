@@ -1,0 +1,117 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"gcacc"
+	"gcacc/internal/sparse"
+)
+
+// benchEdges builds a deterministic pseudo-random batch stream over n
+// vertices: batches of size batch, distinct enough that most appends
+// are fresh unions.
+func benchEdges(n, total int) []sparse.Edge {
+	edges := make([]sparse.Edge, total)
+	x := uint64(88172645463325252)
+	for i := range edges {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		u := int32(x % uint64(n))
+		v := int32((x >> 32) % uint64(n))
+		if u == v {
+			v = (v + 1) % int32(n)
+		}
+		if u > v {
+			u, v = v, u
+		}
+		edges[i] = sparse.Edge{U: u, V: v}
+	}
+	return edges
+}
+
+// BenchmarkStreamAppend measures the incremental fast path: batches of
+// 64 edges unioned into a 100k-vertex graph, no recomputes.
+func BenchmarkStreamAppend(b *testing.B) {
+	const n, batch = 100_000, 64
+	ctx := context.Background()
+	edges := benchEdges(n, 1<<16)
+	b.Run(fmt.Sprintf("n=%d/batch=%d", n, batch), func(b *testing.B) {
+		st, err := NewState(n, Config{Engine: gcacc.EngineLiuTarjan})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lo := (i * batch) % (len(edges) - batch)
+			if _, err := st.Append(ctx, edges[lo:lo+batch], NoEpoch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "edges/s")
+	})
+}
+
+// BenchmarkStreamQuery measures clean (incremental) queries against a
+// populated graph: one O(n) label snapshot per query, no recompute.
+func BenchmarkStreamQuery(b *testing.B) {
+	const n = 100_000
+	ctx := context.Background()
+	st, err := NewState(n, Config{Engine: gcacc.EngineLiuTarjan})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.Append(ctx, benchEdges(n, 2*n), NoEpoch); err != nil {
+		b.Fatal(err)
+	}
+	b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Components(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStreamRecompute measures the deletion-tolerance cost: each
+// query pays a full Liu–Tarjan recompute because a deletion dirtied the
+// graph — the other side of the append-throughput vs recompute-period
+// tradeoff.
+func BenchmarkStreamRecompute(b *testing.B) {
+	const n = 100_000
+	ctx := context.Background()
+	st, err := NewState(n, Config{Engine: gcacc.EngineLiuTarjan})
+	if err != nil {
+		b.Fatal(err)
+	}
+	edges := benchEdges(n, 2*n)
+	if _, err := st.Append(ctx, edges, NoEpoch); err != nil {
+		b.Fatal(err)
+	}
+	b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			// Dirty the graph: delete and re-append one edge.
+			e := edges[i%len(edges)]
+			if _, err := st.Delete(ctx, []sparse.Edge{e}, NoEpoch); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := st.Append(ctx, []sparse.Edge{e}, NoEpoch); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			snap, err := st.Components(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !snap.Recomputed {
+				b.Fatal("query was not a recompute")
+			}
+		}
+	})
+}

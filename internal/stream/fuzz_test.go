@@ -1,0 +1,91 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"gcacc"
+	"gcacc/internal/sparse"
+)
+
+// FuzzMutationTrace decodes arbitrary bytes into a valid mutation trace
+// (the decoder is total — no rejection path hides bugs) and replays it
+// against the incremental state, checking every query against a
+// from-scratch union-find oracle and every accepted batch against the
+// epoch counter. The trace also round-trips through the text format.
+func FuzzMutationTrace(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{7, 0, 1, 2, 3, 4, 5})
+	f.Add([]byte{63, 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3})
+	f.Add([]byte("interleaved append/delete/query soup"))
+	f.Add(bytes.Repeat([]byte{2, 1, 3}, 40))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := DecodeTrace(data)
+
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, tr); err != nil {
+			t.Fatalf("WriteTrace: %v", err)
+		}
+		tr2, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("decoded trace does not re-parse: %v", err)
+		}
+		if !reflect.DeepEqual(tr, tr2) {
+			t.Fatalf("text round trip changed the trace")
+		}
+
+		ctx := context.Background()
+		st, err := NewState(tr.N, Config{Engine: gcacc.EngineLiuTarjan, RecomputePeriod: 3})
+		if err != nil {
+			t.Fatalf("NewState(%d): %v", tr.N, err)
+		}
+		live := map[sparse.Edge]struct{}{}
+		epoch := uint64(0)
+		for i, op := range tr.Ops {
+			switch op.Kind {
+			case OpQuery:
+				snap, err := st.Components(ctx)
+				if err != nil {
+					t.Fatalf("op %d: query: %v", i, err)
+				}
+				if snap.Epoch != epoch {
+					t.Fatalf("op %d: snapshot epoch %d, want %d", i, snap.Epoch, epoch)
+				}
+				want := oracleLabels(tr.N, live)
+				if !reflect.DeepEqual(snap.Labels, want) {
+					t.Fatalf("op %d: labels diverge from oracle\n got %v\nwant %v", i, snap.Labels, want)
+				}
+				if snap.Components != sparse.ComponentCount(want) {
+					t.Fatalf("op %d: components = %d, oracle %d", i, snap.Components, sparse.ComponentCount(want))
+				}
+			case OpAppend:
+				m, err := st.Append(ctx, op.Edges, int64(epoch))
+				if err != nil {
+					t.Fatalf("op %d: append: %v", i, err)
+				}
+				epoch++
+				if m.Epoch != epoch {
+					t.Fatalf("op %d: mutation epoch %d, want %d", i, m.Epoch, epoch)
+				}
+				for _, e := range op.Edges {
+					live[e] = struct{}{}
+				}
+			case OpDelete:
+				m, err := st.Delete(ctx, op.Edges, int64(epoch))
+				if err != nil {
+					t.Fatalf("op %d: delete: %v", i, err)
+				}
+				epoch++
+				if m.Epoch != epoch {
+					t.Fatalf("op %d: mutation epoch %d, want %d", i, m.Epoch, epoch)
+				}
+				for _, e := range op.Edges {
+					delete(live, e)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package stream
+
+import "fmt"
+
+// UnionFind is the incremental fast path of the streaming tier: a
+// disjoint-set forest with path halving and union by rank, absorbing
+// edge appends in amortized near-constant (inverse-Ackermann) time.
+// Each root additionally tracks the smallest vertex index in its set, so
+// queries can answer in the repo-wide labelling convention — every
+// vertex labelled with its component's minimum vertex — without a full
+// relabel pass.
+//
+// It is not safe for concurrent use; State serializes access per graph.
+type UnionFind struct {
+	parent []int32
+	rank   []uint8
+	min    []int32 // valid at roots only: smallest vertex in the set
+	sets   int
+}
+
+// NewUnionFind returns a forest of n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{
+		parent: make([]int32, n),
+		rank:   make([]uint8, n),
+		min:    make([]int32, n),
+		sets:   n,
+	}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+		u.min[i] = int32(i)
+	}
+	return u
+}
+
+// N returns the number of vertices.
+func (u *UnionFind) N() int { return len(u.parent) }
+
+// Sets returns the current number of disjoint sets (components).
+func (u *UnionFind) Sets() int { return u.sets }
+
+// Find returns the root of x's set, halving the path on the way up.
+func (u *UnionFind) Find(x int) int {
+	for int(u.parent[x]) != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = int(u.parent[x])
+	}
+	return x
+}
+
+// Union merges the sets of x and y, reporting whether they were
+// distinct. The surviving root inherits the smaller of the two minima.
+func (u *UnionFind) Union(x, y int) bool {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return false
+	}
+	if u.rank[rx] < u.rank[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = int32(rx)
+	if u.rank[rx] == u.rank[ry] {
+		u.rank[rx]++
+	}
+	if u.min[ry] < u.min[rx] {
+		u.min[rx] = u.min[ry]
+	}
+	u.sets--
+	return true
+}
+
+// Label returns the smallest vertex index in x's set — the component
+// label in the paper's super-node convention.
+func (u *UnionFind) Label(x int) int { return int(u.min[u.Find(x)]) }
+
+// Labels appends every vertex's component label to dst (allocating when
+// dst is nil) and returns the full labelling.
+func (u *UnionFind) Labels(dst []int) []int {
+	if dst == nil {
+		dst = make([]int, 0, len(u.parent))
+	}
+	for v := range u.parent {
+		dst = append(dst, u.Label(v))
+	}
+	return dst
+}
+
+// ResetToLabels rebuilds the forest from a min-labelling, as produced by
+// the full recompute engines: labels[v] must be the smallest vertex of
+// v's component. Every vertex points directly at its component minimum,
+// which is its own root — an O(n) rebuild with no unions.
+func (u *UnionFind) ResetToLabels(labels []int) error {
+	if len(labels) != len(u.parent) {
+		return fmt.Errorf("stream: labelling has %d vertices, forest has %d", len(labels), len(u.parent))
+	}
+	sets := 0
+	for v, l := range labels {
+		if l < 0 || l > v || labels[l] != l {
+			return fmt.Errorf("stream: labels[%d] = %d is not a component minimum", v, l)
+		}
+		if l == v {
+			sets++
+		}
+	}
+	for v, l := range labels {
+		u.parent[v] = int32(l)
+		u.min[v] = int32(v)
+		if l == v {
+			u.rank[v] = 1
+		} else {
+			u.rank[v] = 0
+		}
+	}
+	u.sets = sets
+	return nil
+}

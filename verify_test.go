@@ -117,6 +117,58 @@ func TestConformanceSparse(t *testing.T) {
 	}
 }
 
+// TestConformanceStream is the streaming tier's standing gate: seeded
+// mutation traces over every sparse corpus family replayed against the
+// incremental union-find fast path, a periodic-full-recompute replica,
+// and (at dense scale) a replica whose recompute engine is the GCA
+// itself — every query checked against a from-scratch union-find oracle,
+// every batch against the epoch counter, and all replicas required to
+// agree label for label. A second, smaller run repeats the replay under
+// injected mid-batch aborts and failing recompute steps: faults may
+// surface as counted transient errors, never as divergence.
+// GCACC_STREAM_N overrides the scale; -short drops to 10³.
+func TestConformanceStream(t *testing.T) {
+	n := 10_000
+	if testing.Short() {
+		n = 1_000
+	}
+	if env := os.Getenv("GCACC_STREAM_N"); env != "" {
+		v, err := strconv.Atoi(env)
+		if err != nil {
+			t.Fatalf("GCACC_STREAM_N=%q: %v", env, err)
+		}
+		n = v
+	}
+	rep, err := verify.RunStream(verify.StreamOptions{N: n, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Families) < 8 {
+		t.Fatalf("stream corpus covers %d families, want ≥ 8", len(rep.Families))
+	}
+	if !rep.OK() {
+		t.Fatalf("stream conformance failures at n=%d:\n%s", n, rep.Format())
+	}
+
+	faulty, err := verify.RunStream(verify.StreamOptions{
+		N: 64, Seed: 2,
+		FaultSpec: "seed=9,batcherr=0.15,steperr=0.03,stall=0.05:100us",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !faulty.OK() {
+		t.Fatalf("stream divergence under fault injection:\n%s", faulty.Format())
+	}
+	errs := 0
+	for _, e := range faulty.Engines {
+		errs += e.Errors
+	}
+	if errs == 0 {
+		t.Fatal("fault-injected stream run surfaced no faults — it proved nothing")
+	}
+}
+
 // TestConformancePowerOfTwo pins the paper's closed form at a power-of-two
 // size, where 1 + log n · (3·log n + 8) is exact: n = 32 gives log n = 5
 // and 116 generations.
