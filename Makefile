@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race lint fmt-check check verify chaos-smoke stream-smoke fuzz-smoke bench bench-json bench-smoke serve
+.PHONY: all build vet test test-race lint lint-gcasm fmt-check check verify chaos-smoke stream-smoke fuzz-smoke bench bench-json bench-smoke serve
 
 all: check
 
@@ -24,10 +24,19 @@ test-race:
 	$(GO) test -race ./...
 
 # Custom stdlib-only analyzers for the model invariants (double-buffer
-# discipline, determinism, context plumbing, mutex guards, errcheck).
+# discipline, determinism, context plumbing, mutex guards, atomic access
+# discipline, pool Close pairing, lock ordering, errcheck).
 # See internal/lint and TESTING.md.
 lint:
 	$(GO) run ./cmd/gca-lint -dir .
+
+# Static verifier for the GCA rule language (internal/gcasm/check): the
+# embedded Hirschberg and list-ranking programs under their field
+# contracts, then the example programs with the raw n-cell contract.
+# See TESTING.md "Static analysis".
+lint-gcasm:
+	$(GO) run ./cmd/gca-lint -gcasm
+	$(GO) run ./cmd/gca-lint -gcasm -cells 8 internal/gcasm/testdata/programs/ring.gca internal/gcasm/testdata/programs/doubling.gca
 
 # gofmt and go vet as a separate fast gate (CI runs it in the lint job).
 fmt-check:
@@ -35,7 +44,7 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 
-check: build vet test test-race lint chaos-smoke stream-smoke
+check: build vet test test-race lint lint-gcasm chaos-smoke stream-smoke
 
 # Cross-engine conformance harness (differential + metamorphic + analytic
 # oracles over the deterministic corpus), then the sparse engines

@@ -3,11 +3,18 @@
 //	gca-asm -list                          # print the embedded Hirschberg program
 //	gca-asm -in graph.el                   # run it on a graph (edge-list)
 //	gca-asm -program rules.gca -cells 16 -n 4 -data 3,1,0,2,...   # raw field
+//	gca-asm -program rules.gca -check -n 8 # statically verify, don't run
 //
 // With -in, the program is assumed to use the paper's (n+1)×n field
 // contract (adjacency in the square cells' a fields, result in column 0).
 // With -cells, the field is raw: -data seeds the d fields and the final
 // field is printed.
+//
+// With -check, the program is statically verified (internal/gcasm/check:
+// CRCW write conflicts, unknown registers, schedule defects, unreachable
+// rules, out-of-range pointers) instead of executed. Exit status: 0 when
+// the program is clean, 1 when the verifier reported findings or the
+// program failed to parse, 2 on usage errors.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 
 	"gcacc/internal/gca"
 	"gcacc/internal/gcasm"
+	"gcacc/internal/gcasm/check"
 	"gcacc/internal/graph"
 )
 
@@ -32,6 +40,7 @@ func main() {
 		n           = flag.Int("n", 0, "problem size for raw fields (defaults to -cells)")
 		data        = flag.String("data", "", "comma-separated initial d values for raw fields")
 		stats       = flag.Bool("stats", false, "print per-generation statistics")
+		checkOnly   = flag.Bool("check", false, "statically verify the program and exit (no execution)")
 	)
 	flag.Parse()
 
@@ -43,6 +52,30 @@ func main() {
 		}
 		src = string(b)
 	}
+
+	if *checkOnly {
+		// The verifier runs on the permissive AST so that programs the
+		// compiler rejects outright (CRCW conflicts) still get positioned
+		// diagnostics. The default contract is the embedded program's
+		// n·(n+1) field; -n and -cells adjust it.
+		nn := *n
+		if nn <= 0 {
+			nn = 8
+		}
+		ds, err := check.VerifySource(src, check.Options{N: nn, Cells: *cells})
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range ds {
+			fmt.Println(d)
+		}
+		if len(ds) > 0 {
+			fmt.Fprintf(os.Stderr, "gca-asm: %d finding(s)\n", len(ds))
+			os.Exit(1)
+		}
+		return
+	}
+
 	prog, err := gcasm.Parse(src)
 	if err != nil {
 		fatal(err)

@@ -1,17 +1,29 @@
 // Command gca-lint runs the repository's static-analysis suite
 // (internal/lint) over every package of the module: the GCA/PRAM model
 // invariants (double-buffer discipline, rule purity), determinism and
-// context-plumbing requirements of the simulator packages, the serving
-// layer's mutex convention, and discarded-error hygiene.
+// context-plumbing requirements of the simulator packages, concurrency
+// hygiene (atomic access discipline, pool Close pairing, lock ordering),
+// the serving layer's mutex convention, and discarded-error hygiene.
+//
+// With -gcasm it verifies GCA rule-language programs instead
+// (internal/gcasm/check): CRCW write conflicts, unknown registers,
+// unreachable rules, schedule defects and statically out-of-range
+// pointers. Program files are given as arguments; with none, the
+// embedded Hirschberg and list-ranking programs are verified under
+// their field contracts.
 //
 // Usage:
 //
 //	gca-lint [-dir .] [-analyzers a,b] [-json] [-list]
+//	gca-lint -gcasm [-n 8] [-cells N] [-json] [program.gca ...]
 //
-// Exit status: 0 when clean, 1 when any diagnostic was reported, 2 on
-// load or typecheck failure. Individual findings can be suppressed with
-// a `//lint:ignore <analyzer> <reason>` comment on or directly above the
-// flagged line; each directive suppresses at most one diagnostic.
+// Exit status, in both modes: 0 when clean, 1 when any diagnostic was
+// reported, 2 when the input could not be loaded at all (no module,
+// typecheck failure, unreadable or syntactically invalid program).
+// Individual Go findings can be suppressed with a `//lint:ignore
+// <analyzer> <reason>` comment on or directly above the flagged line;
+// each directive suppresses at most one diagnostic, and the reason is
+// mandatory — a directive without one is itself a finding.
 package main
 
 import (
@@ -20,6 +32,8 @@ import (
 	"fmt"
 	"os"
 
+	"gcacc/internal/gcasm"
+	"gcacc/internal/gcasm/check"
 	"gcacc/internal/lint"
 )
 
@@ -32,6 +46,9 @@ func run() int {
 	analyzersFlag := flag.String("analyzers", "", "comma-separated analyzer names (default: all)")
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
 	list := flag.Bool("list", false, "list available analyzers and exit")
+	gcasmMode := flag.Bool("gcasm", false, "verify gcasm rule programs (args; default: embedded programs)")
+	nFlag := flag.Int("n", 8, "gcasm mode: problem size for the range and congestion checks")
+	cellsFlag := flag.Int("cells", 0, "gcasm mode: field-cell contract for program files (0 = no upper bound)")
 	flag.Parse()
 
 	if *list {
@@ -39,6 +56,10 @@ func run() int {
 			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+
+	if *gcasmMode {
+		return runGcasm(flag.Args(), *nFlag, *cellsFlag, *jsonOut)
 	}
 
 	analyzers, err := lint.Select(*analyzersFlag)
@@ -86,6 +107,74 @@ func run() int {
 		}
 	}
 	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// programDiagnostic is one verifier finding tagged with the program it
+// came from, for the JSON output.
+type programDiagnostic struct {
+	Program string `json:"program"`
+	check.Diagnostic
+}
+
+// runGcasm verifies rule programs: the named files, or the embedded
+// programs under their known field contracts when no files are given.
+func runGcasm(files []string, n, cells int, jsonOut bool) int {
+	type target struct {
+		name  string
+		src   string
+		cells int
+	}
+	var targets []target
+	if len(files) == 0 {
+		targets = []target{
+			{"embedded:hirschberg", gcasm.HirschbergSource, n * (n + 1)},
+			{"embedded:listrank", gcasm.ListRankSource, n},
+		}
+	} else {
+		for _, path := range files {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gca-lint:", err)
+				return 2
+			}
+			targets = append(targets, target{path, string(b), cells})
+		}
+	}
+
+	var all []programDiagnostic
+	for _, t := range targets {
+		ds, err := check.VerifySource(t.src, check.Options{N: n, Cells: t.cells})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gca-lint: %s: %v\n", t.name, err)
+			return 2
+		}
+		for _, d := range ds {
+			all = append(all, programDiagnostic{Program: t.name, Diagnostic: d})
+		}
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []programDiagnostic{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range all {
+			fmt.Printf("%s:%s\n", d.Program, d.Diagnostic)
+		}
+		if len(all) > 0 {
+			fmt.Fprintf(os.Stderr, "gca-lint: %d finding(s) in %d program(s)\n", len(all), len(targets))
+		}
+	}
+	if len(all) > 0 {
 		return 1
 	}
 	return 0

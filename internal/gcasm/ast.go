@@ -33,10 +33,169 @@ const (
 // maxLetDepth bounds nested let-bindings per expression.
 const maxLetDepth = 8
 
+// Exported aliases for the static verifier (internal/gcasm/check), which
+// reproduces the runtime's value semantics abstractly.
+const (
+	// NoneValue is the sentinel a pointer expression produces for "no
+	// global read" this generation.
+	NoneValue = noneValue
+	// InfValue is the paper's ∞.
+	InfValue = infValue
+	// MaxLetDepth bounds nested let-bindings per expression.
+	MaxLetDepth = maxLetDepth
+)
+
+// Registers lists the builtin environment registers and value sentinels
+// a free identifier may name, mirroring compileVar.
+func Registers() []string {
+	return []string{"d", "dstar", "a", "row", "col", "index", "n", "sub", "iter", "inf", "none"}
+}
+
+// BuiltinArity maps the builtin function names to their arity, mirroring
+// compileCall.
+func BuiltinArity() map[string]int {
+	return map[string]int{"pow2": 1, "min": 2, "max": 2, "abs": 1}
+}
+
 // compiledExpr is an expression compiled to a closure. Runtime errors are
 // impossible by construction except division by zero, which is reported
 // through the *err slot (checked once per rule invocation).
 type compiledExpr func(e *env, errSlot *error) int64
+
+// Compile checks a syntax tree for well-formedness — at most one pointer
+// and one data operation per generation, a non-empty schedule whose
+// references resolve, known identifiers and functions — and compiles its
+// expressions to closures. The verifier (internal/gcasm/check) reports
+// the same defects as positioned diagnostics instead of a single error.
+func Compile(ast *ProgramAST) (*Program, error) {
+	prog := &Program{genIndex: map[string]int{}}
+	for _, g := range ast.Gens {
+		if len(g.Pointers) > 1 {
+			return nil, fmt.Errorf("gcasm: line %d: generation %q has two pointer operations",
+				g.Pointers[1].LineNo, g.Name)
+		}
+		if len(g.Datas) > 1 {
+			return nil, fmt.Errorf("gcasm: line %d: generation %q has two data operations",
+				g.Datas[1].LineNo, g.Name)
+		}
+		def := &genDef{name: g.Name, times: g.Times, line: g.LineNo}
+		if len(g.Pointers) == 1 {
+			c, err := compileExpr(g.Pointers[0].Expr)
+			if err != nil {
+				return nil, err
+			}
+			def.pointer = c
+		}
+		if len(g.Datas) == 1 {
+			c, err := compileExpr(g.Datas[0].Expr)
+			if err != nil {
+				return nil, err
+			}
+			def.data = c
+		}
+		prog.genIndex[g.Name] = len(prog.gens)
+		prog.gens = append(prog.gens, def)
+	}
+	if len(ast.Schedule) == 0 {
+		return nil, fmt.Errorf("gcasm: program has no schedule ('start'/'repeat' declarations)")
+	}
+	for _, s := range ast.Schedule {
+		for _, g := range s.Gens {
+			if _, ok := prog.genIndex[g]; !ok {
+				return nil, fmt.Errorf("gcasm: line %d: schedule references undeclared generation %q", s.LineNo, g)
+			}
+		}
+		prog.schedule = append(prog.schedule, schedItem{repeat: s.Repeat, gens: s.Gens, line: s.LineNo})
+	}
+	return prog, nil
+}
+
+// compileExpr lowers one AST expression to its closure.
+func compileExpr(x Expr) (compiledExpr, error) {
+	switch x := x.(type) {
+	case *NumExpr:
+		v := x.Value
+		return func(*env, *error) int64 { return v }, nil
+	case *VarExpr:
+		if x.LetSlot >= 0 {
+			slot := x.LetSlot
+			return func(e *env, _ *error) int64 { return e.locals[slot] }, nil
+		}
+		return compileVar(x.Name, x.LineNo)
+	case *CallExpr:
+		args := make([]compiledExpr, len(x.Args))
+		for i, a := range x.Args {
+			c, err := compileExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = c
+		}
+		return compileCall(x.Name, args, x.LineNo)
+	case *BinExpr:
+		lhs, err := compileExpr(x.L)
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := compileExpr(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return compileBinary(x.Op, lhs, rhs, x.LineNo)
+	case *NotExpr:
+		inner, err := compileExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return func(e *env, errSlot *error) int64 {
+			if inner(e, errSlot) == 0 {
+				return 1
+			}
+			return 0
+		}, nil
+	case *NegExpr:
+		inner, err := compileExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return func(e *env, errSlot *error) int64 { return -inner(e, errSlot) }, nil
+	case *IfExpr:
+		cond, err := compileExpr(x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		thenE, err := compileExpr(x.Then)
+		if err != nil {
+			return nil, err
+		}
+		elseE, err := compileExpr(x.Else)
+		if err != nil {
+			return nil, err
+		}
+		return func(e *env, errSlot *error) int64 {
+			if cond(e, errSlot) != 0 {
+				return thenE(e, errSlot)
+			}
+			return elseE(e, errSlot)
+		}, nil
+	case *LetExpr:
+		val, err := compileExpr(x.Value)
+		if err != nil {
+			return nil, err
+		}
+		body, err := compileExpr(x.Body)
+		if err != nil {
+			return nil, err
+		}
+		slot := x.Slot
+		return func(e *env, errSlot *error) int64 {
+			e.locals[slot] = val(e, errSlot)
+			return body(e, errSlot)
+		}, nil
+	default:
+		return nil, fmt.Errorf("gcasm: line %d: unsupported expression node %T", x.Line(), x)
+	}
+}
 
 // compileBinary builds a closure for a binary operator.
 func compileBinary(op string, lhs, rhs compiledExpr, line int) (compiledExpr, error) {

@@ -1,0 +1,266 @@
+// Package check statically verifies gcasm rule programs. It runs on the
+// syntax tree (gcasm.ParseAST), not the compiled closures, so it can
+// diagnose programs the compiler rejects — most importantly CRCW write
+// conflicts, which Compile reports as a bare error — and programs the
+// compiler accepts but the machine would fault on, such as pointers that
+// address outside the field. It is the semantic gate the planned gcasm
+// compilation tier (ROADMAP) sits behind: a program that passes Verify
+// respects the paper's owner-write EREW-style discipline (one pointer,
+// one data write per cell per generation) and addresses only real cells.
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"gcacc/internal/gcasm"
+)
+
+// Diagnostic is one verifier finding, positioned by source line.
+type Diagnostic struct {
+	Line     int    `json:"line"`
+	Gen      string `json:"gen,omitempty"`
+	Category string `json:"category"`
+	Message  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("line %d: [%s] %s", d.Line, d.Category, d.Message)
+}
+
+// Diagnostic categories.
+const (
+	// CatCRCW flags two rules writing the same destination register in
+	// one synchronous generation.
+	CatCRCW = "crcw"
+	// CatRegister flags unknown or misused environment registers and
+	// builtin functions.
+	CatRegister = "register"
+	// CatSchedule flags schedule defects: no schedule at all, or a
+	// phase reference to an undeclared generation.
+	CatSchedule = "schedule"
+	// CatUnreachable flags generations no schedule item ever runs.
+	CatUnreachable = "unreachable"
+	// CatRange flags pointers that statically resolve outside the field
+	// and data operations that statically produce 'none'.
+	CatRange = "range"
+)
+
+// Options configures the size-dependent checks.
+type Options struct {
+	// N is the problem size the pointer-range and congestion analyses
+	// instantiate 'n', 'log' and 'scan' at; N < 1 skips them.
+	N int
+	// Cells is the field-size contract (e.g. n·(n+1) for the Hirschberg
+	// layout). Cells < 1 keeps the negative-pointer check but skips the
+	// upper bound, for programs whose field contract is not known.
+	Cells int
+}
+
+// Verify runs every static check over the program and returns the
+// findings ordered by source line. An empty slice means the program is
+// well-formed under the model: exclusive writes, resolvable schedule,
+// known registers, and (when Options provides a size) in-range pointers.
+func Verify(p *gcasm.ProgramAST, opts Options) []Diagnostic {
+	var ds []Diagnostic
+	ds = append(ds, checkWrites(p)...)
+	ds = append(ds, checkExprs(p)...)
+	ds = append(ds, checkSchedule(p)...)
+	if opts.N >= 1 {
+		ds = append(ds, checkRanges(p, opts)...)
+	}
+	sort.SliceStable(ds, func(i, j int) bool { return ds[i].Line < ds[j].Line })
+	return ds
+}
+
+// VerifySource parses src permissively and verifies it. A syntax error
+// (which positions itself) is returned as the error; defects the parser
+// tolerates come back as diagnostics.
+func VerifySource(src string, opts Options) ([]Diagnostic, error) {
+	ast, err := gcasm.ParseAST(src)
+	if err != nil {
+		return nil, err
+	}
+	return Verify(ast, opts), nil
+}
+
+// checkWrites detects CRCW write conflicts. The machine is owner-write:
+// in one synchronous generation a cell owns exactly one pointer register
+// and one data register, so a generation carrying two pointer or two
+// data operations is two rules writing the same destination in the same
+// step — concurrent-write semantics the model does not define.
+func checkWrites(p *gcasm.ProgramAST) []Diagnostic {
+	var ds []Diagnostic
+	for _, g := range p.Gens {
+		if len(g.Pointers) > 1 {
+			ds = append(ds, Diagnostic{
+				Line: g.Pointers[1].LineNo, Gen: g.Name, Category: CatCRCW,
+				Message: fmt.Sprintf("CRCW write conflict: generation %q has %d pointer operations writing the cell's pointer register in one generation",
+					g.Name, len(g.Pointers)),
+			})
+		}
+		if len(g.Datas) > 1 {
+			ds = append(ds, Diagnostic{
+				Line: g.Datas[1].LineNo, Gen: g.Name, Category: CatCRCW,
+				Message: fmt.Sprintf("CRCW write conflict: generation %q has %d data operations writing the cell's data register in one generation",
+					g.Name, len(g.Datas)),
+			})
+		}
+	}
+	return ds
+}
+
+// checkExprs validates register and builtin references in every clause:
+// unknown names, unknown functions, wrong arity, pow2 with a literal
+// argument outside [0,62], and dstar — defined only while a data
+// operation observes the global cell — used in a pointer expression.
+func checkExprs(p *gcasm.ProgramAST) []Diagnostic {
+	registers := map[string]bool{}
+	for _, r := range gcasm.Registers() {
+		registers[r] = true
+	}
+	arity := gcasm.BuiltinArity()
+	var ds []Diagnostic
+	checkClause := func(g *gcasm.GenDecl, e gcasm.Expr, pointer bool) {
+		gcasm.Walk(e, func(x gcasm.Expr) bool {
+			switch x := x.(type) {
+			case *gcasm.VarExpr:
+				if x.LetSlot >= 0 {
+					return true
+				}
+				if !registers[x.Name] {
+					ds = append(ds, Diagnostic{
+						Line: x.LineNo, Gen: g.Name, Category: CatRegister,
+						Message: fmt.Sprintf("unknown register %q", x.Name),
+					})
+				} else if pointer && x.Name == "dstar" {
+					ds = append(ds, Diagnostic{
+						Line: x.LineNo, Gen: g.Name, Category: CatRegister,
+						Message: "register \"dstar\" is only defined in data operations; a pointer expression reads it as zero",
+					})
+				}
+			case *gcasm.CallExpr:
+				want, ok := arity[x.Name]
+				switch {
+				case !ok:
+					ds = append(ds, Diagnostic{
+						Line: x.LineNo, Gen: g.Name, Category: CatRegister,
+						Message: fmt.Sprintf("unknown function %q", x.Name),
+					})
+				case len(x.Args) != want:
+					ds = append(ds, Diagnostic{
+						Line: x.LineNo, Gen: g.Name, Category: CatRegister,
+						Message: fmt.Sprintf("%s takes %d argument(s), got %d", x.Name, want, len(x.Args)),
+					})
+				case x.Name == "pow2" && len(x.Args) == 1:
+					if lit, isLit := x.Args[0].(*gcasm.NumExpr); isLit && (lit.Value < 0 || lit.Value > 62) {
+						ds = append(ds, Diagnostic{
+							Line: x.LineNo, Gen: g.Name, Category: CatRegister,
+							Message: fmt.Sprintf("pow2(%d) is out of range [0,62]", lit.Value),
+						})
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, g := range p.Gens {
+		for _, cl := range g.Pointers {
+			checkClause(g, cl.Expr, true)
+		}
+		for _, cl := range g.Datas {
+			checkClause(g, cl.Expr, false)
+		}
+	}
+	return ds
+}
+
+// checkSchedule validates phase references (every scheduled name is a
+// declared generation), requires a schedule, and flags unreachable
+// generations — declared rules no schedule item ever runs.
+func checkSchedule(p *gcasm.ProgramAST) []Diagnostic {
+	var ds []Diagnostic
+	if len(p.Schedule) == 0 {
+		ds = append(ds, Diagnostic{
+			Category: CatSchedule,
+			Message:  "program has no schedule ('start'/'repeat' declarations)",
+		})
+	}
+	referenced := map[string]bool{}
+	for _, s := range p.Schedule {
+		for _, name := range s.Gens {
+			if p.Gen(name) == nil {
+				ds = append(ds, Diagnostic{
+					Line: s.LineNo, Category: CatSchedule,
+					Message: fmt.Sprintf("schedule references undeclared generation %q", name),
+				})
+				continue
+			}
+			referenced[name] = true
+		}
+	}
+	for _, g := range p.Gens {
+		if !referenced[g.Name] {
+			ds = append(ds, Diagnostic{
+				Line: g.LineNo, Gen: g.Name, Category: CatUnreachable,
+				Message: fmt.Sprintf("generation %q is declared but never scheduled (unreachable rule)", g.Name),
+			})
+		}
+	}
+	return ds
+}
+
+// checkRanges evaluates each generation's clauses abstractly over every
+// cell of the instantiated field and flags pointers that statically
+// resolve outside [0, Cells) and data operations that statically produce
+// 'none' (a runtime error). Data-dependent expressions evaluate to
+// "unknown" and are not flagged — the machine bounds-checks those at
+// runtime. One diagnostic per generation and defect keeps a systematic
+// off-by-one from flooding the report.
+func checkRanges(p *gcasm.ProgramAST, opts Options) []Diagnostic {
+	var ds []Diagnostic
+	cells := fieldCells(opts)
+	for _, g := range p.Gens {
+		times := g.Times.Resolve(opts.N)
+		pointerDone, dataDone := len(g.Pointers) != 1, len(g.Datas) != 1
+		for sub := 0; sub < times && !(pointerDone && dataDone); sub++ {
+			for idx := 0; idx < cells && !(pointerDone && dataDone); idx++ {
+				e := newAbsEnv(idx, opts.N, sub)
+				if !pointerDone {
+					v := evalAbs(g.Pointers[0].Expr, e)
+					if v.known && v.v != gcasm.NoneValue &&
+						(v.v < 0 || (opts.Cells >= 1 && v.v >= int64(opts.Cells))) {
+						ds = append(ds, Diagnostic{
+							Line: g.Pointers[0].LineNo, Gen: g.Name, Category: CatRange,
+							Message: fmt.Sprintf("generation %q: pointer resolves to %d for cell %d (sub %d), outside the %d-cell field at n=%d",
+								g.Name, v.v, idx, sub, cells, opts.N),
+						})
+						pointerDone = true
+					}
+				}
+				if !dataDone {
+					v := evalAbs(g.Datas[0].Expr, e)
+					if v.known && v.v == gcasm.NoneValue {
+						ds = append(ds, Diagnostic{
+							Line: g.Datas[0].LineNo, Gen: g.Name, Category: CatRange,
+							Message: fmt.Sprintf("generation %q: data operation produces 'none' for cell %d (sub %d), a runtime error",
+								g.Name, idx, sub),
+						})
+						dataDone = true
+					}
+				}
+			}
+		}
+	}
+	return ds
+}
+
+// fieldCells resolves the field size the size-dependent checks range
+// over: the declared contract when given, else the n·(n+1) Hirschberg
+// layout as the package's reference shape.
+func fieldCells(opts Options) int {
+	if opts.Cells >= 1 {
+		return opts.Cells
+	}
+	return opts.N * (opts.N + 1)
+}

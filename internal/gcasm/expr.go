@@ -1,0 +1,202 @@
+package gcasm
+
+// The expression AST. Parse builds this tree first and compiles it to
+// closures afterwards (ast.go); the static verifier
+// (internal/gcasm/check) walks the same tree, so the program the
+// verifier reasons about is — by construction — the program the machine
+// executes. Every node records the 1-based source line for diagnostics.
+
+// Expr is one node of a rule-language expression.
+type Expr interface {
+	// Line is the 1-based source line the node starts on.
+	Line() int
+	exprNode()
+}
+
+// NumExpr is an integer literal.
+type NumExpr struct {
+	LineNo int
+	Value  int64
+}
+
+// VarExpr is an identifier reference: a let-binding when LetSlot ≥ 0
+// (innermost shadowing, resolved syntactically by the parser), otherwise
+// a free name that must be one of the builtin environment registers
+// (d, dstar, a, row, col, index, n, sub, iter, inf, none).
+type VarExpr struct {
+	LineNo  int
+	Name    string
+	LetSlot int // locals slot for a let-bound name, -1 for free names
+}
+
+// CallExpr is a builtin function application (pow2, min, max, abs).
+type CallExpr struct {
+	LineNo int
+	Name   string
+	Args   []Expr
+}
+
+// BinExpr is a binary operation; Op is one of
+// + - * / % == != < <= > >= and or.
+type BinExpr struct {
+	LineNo int
+	Op     string
+	L, R   Expr
+}
+
+// NotExpr is logical negation.
+type NotExpr struct {
+	LineNo int
+	X      Expr
+}
+
+// NegExpr is arithmetic negation.
+type NegExpr struct {
+	LineNo int
+	X      Expr
+}
+
+// IfExpr is the ternary "if cond then a else b".
+type IfExpr struct {
+	LineNo           int
+	Cond, Then, Else Expr
+}
+
+// LetExpr is "let Name = Value in Body"; Slot is the locals slot the
+// binding occupies (bounded by maxLetDepth).
+type LetExpr struct {
+	LineNo      int
+	Name        string
+	Slot        int
+	Value, Body Expr
+}
+
+func (e *NumExpr) Line() int  { return e.LineNo }
+func (e *VarExpr) Line() int  { return e.LineNo }
+func (e *CallExpr) Line() int { return e.LineNo }
+func (e *BinExpr) Line() int  { return e.LineNo }
+func (e *NotExpr) Line() int  { return e.LineNo }
+func (e *NegExpr) Line() int  { return e.LineNo }
+func (e *IfExpr) Line() int   { return e.LineNo }
+func (e *LetExpr) Line() int  { return e.LineNo }
+
+func (*NumExpr) exprNode()  {}
+func (*VarExpr) exprNode()  {}
+func (*CallExpr) exprNode() {}
+func (*BinExpr) exprNode()  {}
+func (*NotExpr) exprNode()  {}
+func (*NegExpr) exprNode()  {}
+func (*IfExpr) exprNode()   {}
+func (*LetExpr) exprNode()  {}
+
+// Walk calls f on e and, when f returns true, on every child in source
+// order. A nil e is a no-op, so optional clauses walk safely.
+func Walk(e Expr, f func(Expr) bool) {
+	if e == nil || !f(e) {
+		return
+	}
+	switch e := e.(type) {
+	case *CallExpr:
+		for _, a := range e.Args {
+			Walk(a, f)
+		}
+	case *BinExpr:
+		Walk(e.L, f)
+		Walk(e.R, f)
+	case *NotExpr:
+		Walk(e.X, f)
+	case *NegExpr:
+		Walk(e.X, f)
+	case *IfExpr:
+		Walk(e.Cond, f)
+		Walk(e.Then, f)
+		Walk(e.Else, f)
+	case *LetExpr:
+		Walk(e.Value, f)
+		Walk(e.Body, f)
+	}
+}
+
+// CountKind discriminates sub-generation and repeat counts.
+type CountKind int
+
+const (
+	// CountOne is the implicit single execution.
+	CountOne CountKind = iota
+	// CountLog is ⌈log₂ n⌉ executions (the paper's log n sub-generations).
+	CountLog
+	// CountScan is n−1 executions.
+	CountScan
+	// CountLit is a literal count.
+	CountLit
+)
+
+// Count is a resolved-at-runtime execution count ("times log",
+// "repeat scan", a literal, or the implicit 1).
+type Count struct {
+	Kind CountKind
+	Lit  int
+}
+
+// Resolve instantiates the count at problem size n.
+func (c Count) Resolve(n int) int {
+	switch c.Kind {
+	case CountLog:
+		return log2Ceil(n)
+	case CountScan:
+		if n < 1 {
+			return 0
+		}
+		return n - 1
+	case CountLit:
+		return c.Lit
+	default:
+		return 1
+	}
+}
+
+// OpClause is one pointer or data operation of a generation. The
+// well-formedness rule — at most one of each per generation — is
+// enforced by Compile, not the parser, so the verifier can see (and
+// report) a CRCW-conflicting program instead of a bare parse error.
+type OpClause struct {
+	LineNo int
+	Expr   Expr
+}
+
+// GenDecl is one "gen" declaration.
+type GenDecl struct {
+	Name     string
+	LineNo   int
+	Times    Count
+	Pointers []OpClause // "p =" clauses in source order
+	Datas    []OpClause // "d <-" clauses in source order
+}
+
+// SchedDecl is one schedule statement: "start g" (Repeat = CountOne,
+// one generation) or "repeat count { g … }".
+type SchedDecl struct {
+	LineNo int
+	Repeat Count
+	Gens   []string
+}
+
+// ProgramAST is the syntax tree of a parsed program, before the
+// semantic checks and closure compilation of Compile. ParseAST accepts
+// programs that Compile rejects (duplicate operations, unknown names,
+// unreferenced or undeclared generations) so internal/gcasm/check can
+// turn those defects into diagnostics with positions.
+type ProgramAST struct {
+	Gens     []*GenDecl
+	Schedule []*SchedDecl
+}
+
+// Gen returns the declaration of the named generation, or nil.
+func (p *ProgramAST) Gen(name string) *GenDecl {
+	for _, g := range p.Gens {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}

@@ -20,37 +20,27 @@ import (
 //	           | disjunction with the usual precedence:
 //	             or < and < not < comparisons < + - < * / % < unary -
 //	primary   := INT | IDENT | IDENT "(" expr {"," expr} ")" | "(" expr ")"
-
-// countKind discriminates sub-generation counts.
-type countKind int
-
-const (
-	countOne countKind = iota
-	countLog
-	countScan
-	countLit
-)
-
-type countSpec struct {
-	kind countKind
-	lit  int
-}
+//
+// Parsing is two-phase: ParseAST builds the syntax tree (expr.go) and
+// Compile (ast.go) checks well-formedness and emits closures. Parse
+// composes the two.
 
 type genDef struct {
 	name    string
-	times   countSpec
+	times   Count
 	pointer compiledExpr // nil: no global read
 	data    compiledExpr // nil: keep d
 	line    int
 }
 
 type schedItem struct {
-	repeat countSpec
+	repeat Count
 	gens   []string
 	line   int
 }
 
-// Program is a parsed (but not yet size-instantiated) GCA program.
+// Program is a parsed and compiled (but not yet size-instantiated) GCA
+// program.
 type Program struct {
 	gens     []*genDef
 	genIndex map[string]int
@@ -65,40 +55,51 @@ type parser struct {
 	lets []string
 }
 
-// Parse compiles program text.
+// Parse compiles program text: ParseAST followed by Compile.
 func Parse(src string) (*Program, error) {
+	ast, err := ParseAST(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(ast)
+}
+
+// ParseAST parses program text to its syntax tree without the semantic
+// checks of Compile: duplicate pointer/data operations, unknown
+// identifiers or functions and dangling schedule references all parse.
+// The static verifier (internal/gcasm/check) runs on this tree.
+func ParseAST(src string) (*ProgramAST, error) {
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks}
-	prog := &Program{genIndex: map[string]int{}}
+	prog := &ProgramAST{}
+	seen := map[string]bool{}
 	p.skipNewlines()
 	for !p.at(tokEOF) {
 		switch {
 		case p.atIdent("gen"):
-			if err := p.parseGen(prog); err != nil {
+			g, err := p.parseGen()
+			if err != nil {
 				return nil, err
 			}
+			if seen[g.Name] {
+				return nil, fmt.Errorf("gcasm: duplicate generation %q", g.Name)
+			}
+			seen[g.Name] = true
+			prog.Gens = append(prog.Gens, g)
 		case p.atIdent("start"), p.atIdent("repeat"):
-			if err := p.parseSched(prog); err != nil {
+			s, err := p.parseSched()
+			if err != nil {
 				return nil, err
 			}
+			prog.Schedule = append(prog.Schedule, s)
 		default:
 			return nil, fmt.Errorf("gcasm: line %d: expected 'gen', 'start' or 'repeat', got %s",
 				p.cur().line, p.cur())
 		}
 		p.skipNewlines()
-	}
-	if len(prog.schedule) == 0 {
-		return nil, fmt.Errorf("gcasm: program has no schedule ('start'/'repeat' declarations)")
-	}
-	for _, item := range prog.schedule {
-		for _, g := range item.gens {
-			if _, ok := prog.genIndex[g]; !ok {
-				return nil, fmt.Errorf("gcasm: line %d: schedule references undeclared generation %q", item.line, g)
-			}
-		}
 	}
 	return prog, nil
 }
@@ -137,124 +138,109 @@ func (p *parser) skipNewlines() {
 	}
 }
 
-func (p *parser) parseCount() (countSpec, error) {
+func (p *parser) parseCount() (Count, error) {
 	t := p.cur()
 	switch {
 	case t.kind == tokIdent && t.text == "log":
 		p.pos++
-		return countSpec{kind: countLog}, nil
+		return Count{Kind: CountLog}, nil
 	case t.kind == tokIdent && t.text == "scan":
 		p.pos++
-		return countSpec{kind: countScan}, nil
+		return Count{Kind: CountScan}, nil
 	case t.kind == tokInt:
 		p.pos++
 		v, err := strconv.Atoi(t.text)
 		if err != nil {
-			return countSpec{}, fmt.Errorf("gcasm: line %d: bad count %q: %v", t.line, t.text, err)
+			return Count{}, fmt.Errorf("gcasm: line %d: bad count %q: %v", t.line, t.text, err)
 		}
 		if v < 1 {
-			return countSpec{}, fmt.Errorf("gcasm: line %d: count must be ≥ 1", t.line)
+			return Count{}, fmt.Errorf("gcasm: line %d: count must be ≥ 1", t.line)
 		}
-		return countSpec{kind: countLit, lit: v}, nil
+		return Count{Kind: CountLit, Lit: v}, nil
 	default:
-		return countSpec{}, fmt.Errorf("gcasm: line %d: expected 'log', 'scan' or a count, got %s", t.line, t)
+		return Count{}, fmt.Errorf("gcasm: line %d: expected 'log', 'scan' or a count, got %s", t.line, t)
 	}
 }
 
-func (p *parser) parseGen(prog *Program) error {
+func (p *parser) parseGen() (*GenDecl, error) {
 	p.pos++ // "gen"
 	if !p.at(tokIdent) {
-		return fmt.Errorf("gcasm: line %d: expected generation name, got %s", p.cur().line, p.cur())
+		return nil, fmt.Errorf("gcasm: line %d: expected generation name, got %s", p.cur().line, p.cur())
 	}
-	name := p.next().text
-	if _, dup := prog.genIndex[name]; dup {
-		return fmt.Errorf("gcasm: duplicate generation %q", name)
-	}
-	g := &genDef{name: name, times: countSpec{kind: countOne}, line: p.cur().line}
+	nameTok := p.next()
+	g := &GenDecl{Name: nameTok.text, LineNo: nameTok.line, Times: Count{Kind: CountOne}}
 	if p.atIdent("times") {
 		p.pos++
 		c, err := p.parseCount()
 		if err != nil {
-			return err
+			return nil, err
 		}
-		g.times = c
+		g.Times = c
 	}
 	if err := p.expectPunct(":"); err != nil {
-		return err
+		return nil, err
 	}
 	if err := p.expectNewline(); err != nil {
-		return err
+		return nil, err
 	}
 	p.skipNewlines()
 	for {
 		switch {
 		case p.atIdent("p"):
 			line := p.cur().line
-			if g.pointer != nil {
-				return fmt.Errorf("gcasm: line %d: generation %q has two pointer operations", line, name)
-			}
 			p.pos++
 			if err := p.expectPunct("="); err != nil {
-				return err
+				return nil, err
 			}
 			e, err := p.parseExpr()
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if err := p.expectNewline(); err != nil {
-				return err
+				return nil, err
 			}
-			g.pointer = e
+			g.Pointers = append(g.Pointers, OpClause{LineNo: line, Expr: e})
 		case p.atIdent("d"):
 			line := p.cur().line
-			if g.data != nil {
-				return fmt.Errorf("gcasm: line %d: generation %q has two data operations", line, name)
-			}
 			p.pos++
 			if err := p.expectPunct("<-"); err != nil {
-				return err
+				return nil, err
 			}
 			e, err := p.parseExpr()
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if err := p.expectNewline(); err != nil {
-				return err
+				return nil, err
 			}
-			g.data = e
+			g.Datas = append(g.Datas, OpClause{LineNo: line, Expr: e})
 		default:
-			prog.genIndex[name] = len(prog.gens)
-			prog.gens = append(prog.gens, g)
-			return nil
+			return g, nil
 		}
 		p.skipNewlines()
 	}
 }
 
-func (p *parser) parseSched(prog *Program) error {
+func (p *parser) parseSched() (*SchedDecl, error) {
 	line := p.cur().line
 	if p.atIdent("start") {
 		p.pos++
 		if !p.at(tokIdent) {
-			return fmt.Errorf("gcasm: line %d: expected generation name after 'start'", line)
+			return nil, fmt.Errorf("gcasm: line %d: expected generation name after 'start'", line)
 		}
-		prog.schedule = append(prog.schedule, schedItem{
-			repeat: countSpec{kind: countOne},
-			gens:   []string{p.next().text},
-			line:   line,
-		})
-		return p.expectNewline()
+		s := &SchedDecl{LineNo: line, Repeat: Count{Kind: CountOne}, Gens: []string{p.next().text}}
+		return s, p.expectNewline()
 	}
 	// repeat count { g g g }
 	p.pos++ // "repeat"
 	c, err := p.parseCount()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := p.expectPunct("{"); err != nil {
-		return err
+		return nil, err
 	}
-	item := schedItem{repeat: c, line: line}
+	item := &SchedDecl{LineNo: line, Repeat: c}
 	for {
 		p.skipNewlines()
 		if p.atPunct("}") {
@@ -262,20 +248,19 @@ func (p *parser) parseSched(prog *Program) error {
 			break
 		}
 		if !p.at(tokIdent) {
-			return fmt.Errorf("gcasm: line %d: expected generation name or '}', got %s", p.cur().line, p.cur())
+			return nil, fmt.Errorf("gcasm: line %d: expected generation name or '}', got %s", p.cur().line, p.cur())
 		}
-		item.gens = append(item.gens, p.next().text)
+		item.Gens = append(item.Gens, p.next().text)
 	}
-	if len(item.gens) == 0 {
-		return fmt.Errorf("gcasm: line %d: empty repeat block", line)
+	if len(item.Gens) == 0 {
+		return nil, fmt.Errorf("gcasm: line %d: empty repeat block", line)
 	}
-	prog.schedule = append(prog.schedule, item)
-	return p.expectNewline()
+	return item, p.expectNewline()
 }
 
 // --- expressions ---
 
-func (p *parser) parseExpr() (compiledExpr, error) {
+func (p *parser) parseExpr() (Expr, error) {
 	if p.atIdent("if") {
 		return p.parseIf()
 	}
@@ -287,7 +272,7 @@ func (p *parser) parseExpr() (compiledExpr, error) {
 
 // parseLet handles "let NAME = expr in expr". The binding is visible in
 // the body (innermost shadowing outer and builtin names).
-func (p *parser) parseLet() (compiledExpr, error) {
+func (p *parser) parseLet() (Expr, error) {
 	line := p.next().line // "let"
 	if !p.at(tokIdent) {
 		return nil, fmt.Errorf("gcasm: line %d: expected binding name after 'let'", line)
@@ -314,13 +299,11 @@ func (p *parser) parseLet() (compiledExpr, error) {
 	if err != nil {
 		return nil, err
 	}
-	return func(e *env, errSlot *error) int64 {
-		e.locals[slot] = val(e, errSlot)
-		return body(e, errSlot)
-	}, nil
+	return &LetExpr{LineNo: line, Name: name, Slot: slot, Value: val, Body: body}, nil
 }
 
-func (p *parser) parseIf() (compiledExpr, error) {
+func (p *parser) parseIf() (Expr, error) {
+	line := p.cur().line
 	p.pos++ // "if"
 	cond, err := p.parseExpr()
 	if err != nil {
@@ -342,15 +325,10 @@ func (p *parser) parseIf() (compiledExpr, error) {
 	if err != nil {
 		return nil, err
 	}
-	return func(e *env, errSlot *error) int64 {
-		if cond(e, errSlot) != 0 {
-			return thenE(e, errSlot)
-		}
-		return elseE(e, errSlot)
-	}, nil
+	return &IfExpr{LineNo: line, Cond: cond, Then: thenE, Else: elseE}, nil
 }
 
-func (p *parser) parseOr() (compiledExpr, error) {
+func (p *parser) parseOr() (Expr, error) {
 	lhs, err := p.parseAnd()
 	if err != nil {
 		return nil, err
@@ -361,15 +339,12 @@ func (p *parser) parseOr() (compiledExpr, error) {
 		if err != nil {
 			return nil, err
 		}
-		lhs, err = compileBinary("or", lhs, rhs, line)
-		if err != nil {
-			return nil, err
-		}
+		lhs = &BinExpr{LineNo: line, Op: "or", L: lhs, R: rhs}
 	}
 	return lhs, nil
 }
 
-func (p *parser) parseAnd() (compiledExpr, error) {
+func (p *parser) parseAnd() (Expr, error) {
 	lhs, err := p.parseNot()
 	if err != nil {
 		return nil, err
@@ -380,32 +355,25 @@ func (p *parser) parseAnd() (compiledExpr, error) {
 		if err != nil {
 			return nil, err
 		}
-		lhs, err = compileBinary("and", lhs, rhs, line)
-		if err != nil {
-			return nil, err
-		}
+		lhs = &BinExpr{LineNo: line, Op: "and", L: lhs, R: rhs}
 	}
 	return lhs, nil
 }
 
-func (p *parser) parseNot() (compiledExpr, error) {
+func (p *parser) parseNot() (Expr, error) {
 	if p.atIdent("not") {
+		line := p.cur().line
 		p.pos++
 		inner, err := p.parseNot()
 		if err != nil {
 			return nil, err
 		}
-		return func(e *env, errSlot *error) int64 {
-			if inner(e, errSlot) == 0 {
-				return 1
-			}
-			return 0
-		}, nil
+		return &NotExpr{LineNo: line, X: inner}, nil
 	}
 	return p.parseCmp()
 }
 
-func (p *parser) parseCmp() (compiledExpr, error) {
+func (p *parser) parseCmp() (Expr, error) {
 	lhs, err := p.parseAdd()
 	if err != nil {
 		return nil, err
@@ -417,13 +385,13 @@ func (p *parser) parseCmp() (compiledExpr, error) {
 			if err != nil {
 				return nil, err
 			}
-			return compileBinary(op, lhs, rhs, line)
+			return &BinExpr{LineNo: line, Op: op, L: lhs, R: rhs}, nil
 		}
 	}
 	return lhs, nil
 }
 
-func (p *parser) parseAdd() (compiledExpr, error) {
+func (p *parser) parseAdd() (Expr, error) {
 	lhs, err := p.parseMul()
 	if err != nil {
 		return nil, err
@@ -434,15 +402,12 @@ func (p *parser) parseAdd() (compiledExpr, error) {
 		if err != nil {
 			return nil, err
 		}
-		lhs, err = compileBinary(op.text, lhs, rhs, op.line)
-		if err != nil {
-			return nil, err
-		}
+		lhs = &BinExpr{LineNo: op.line, Op: op.text, L: lhs, R: rhs}
 	}
 	return lhs, nil
 }
 
-func (p *parser) parseMul() (compiledExpr, error) {
+func (p *parser) parseMul() (Expr, error) {
 	lhs, err := p.parseUnary()
 	if err != nil {
 		return nil, err
@@ -453,27 +418,25 @@ func (p *parser) parseMul() (compiledExpr, error) {
 		if err != nil {
 			return nil, err
 		}
-		lhs, err = compileBinary(op.text, lhs, rhs, op.line)
-		if err != nil {
-			return nil, err
-		}
+		lhs = &BinExpr{LineNo: op.line, Op: op.text, L: lhs, R: rhs}
 	}
 	return lhs, nil
 }
 
-func (p *parser) parseUnary() (compiledExpr, error) {
+func (p *parser) parseUnary() (Expr, error) {
 	if p.atPunct("-") {
+		line := p.cur().line
 		p.pos++
 		inner, err := p.parseUnary()
 		if err != nil {
 			return nil, err
 		}
-		return func(e *env, errSlot *error) int64 { return -inner(e, errSlot) }, nil
+		return &NegExpr{LineNo: line, X: inner}, nil
 	}
 	return p.parsePrimary()
 }
 
-func (p *parser) parsePrimary() (compiledExpr, error) {
+func (p *parser) parsePrimary() (Expr, error) {
 	t := p.cur()
 	switch {
 	case t.kind == tokInt:
@@ -482,23 +445,14 @@ func (p *parser) parsePrimary() (compiledExpr, error) {
 		if err != nil {
 			return nil, fmt.Errorf("gcasm: line %d: bad integer literal %q: %v", t.line, t.text, err)
 		}
-		return func(*env, *error) int64 { return v }, nil
+		return &NumExpr{LineNo: t.line, Value: v}, nil
 	case t.kind == tokIdent && t.text == "if":
 		return p.parseIf()
 	case t.kind == tokIdent:
 		p.pos++
-		// Let-bindings shadow builtin names, innermost first.
-		if !p.atPunct("(") {
-			for i := len(p.lets) - 1; i >= 0; i-- {
-				if p.lets[i] == t.text {
-					slot := i
-					return func(e *env, _ *error) int64 { return e.locals[slot] }, nil
-				}
-			}
-		}
 		if p.atPunct("(") {
 			p.pos++
-			var args []compiledExpr
+			var args []Expr
 			for {
 				arg, err := p.parseExpr()
 				if err != nil {
@@ -514,9 +468,15 @@ func (p *parser) parsePrimary() (compiledExpr, error) {
 			if err := p.expectPunct(")"); err != nil {
 				return nil, err
 			}
-			return compileCall(t.text, args, t.line)
+			return &CallExpr{LineNo: t.line, Name: t.text, Args: args}, nil
 		}
-		return compileVar(t.text, t.line)
+		// Let-bindings shadow builtin names, innermost first.
+		for i := len(p.lets) - 1; i >= 0; i-- {
+			if p.lets[i] == t.text {
+				return &VarExpr{LineNo: t.line, Name: t.text, LetSlot: i}, nil
+			}
+		}
+		return &VarExpr{LineNo: t.line, Name: t.text, LetSlot: -1}, nil
 	case t.kind == tokPunct && t.text == "(":
 		p.pos++
 		inner, err := p.parseExpr()

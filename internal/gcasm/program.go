@@ -28,20 +28,26 @@ func log2Ceil(n int) int {
 	return k
 }
 
-func (c countSpec) resolve(n int) int {
-	switch c.kind {
-	case countLog:
-		return log2Ceil(n)
-	case countScan:
-		if n < 1 {
-			return 0
-		}
-		return n - 1
-	case countLit:
-		return c.lit
-	default:
-		return 1
+// EvalPointer evaluates the compiled pointer operation of generation gi
+// for cell idx at problem size n and sub-generation sub, with the data
+// registers (d, dstar, a, iter) zeroed. It exists so static analyses
+// (internal/gcasm/check) can cross-check their abstract semantics
+// against the runtime closures; it returns NoneValue when the generation
+// has no pointer operation.
+func EvalPointer(p *Program, gi, idx, n, sub int) int64 {
+	g := p.gens[gi]
+	if g.pointer == nil {
+		return NoneValue
 	}
+	e := env{
+		row:   int64(idx) / int64(n),
+		col:   int64(idx) % int64(n),
+		index: int64(idx),
+		n:     int64(n),
+		sub:   int64(sub),
+	}
+	var evalErr error
+	return g.pointer(&e, &evalErr)
 }
 
 // progRule adapts a Program to the machine's Rule interface. The
@@ -178,11 +184,11 @@ func (p *Program) Run(cfg RunConfig) (*RunResult, error) {
 
 	res := &RunResult{}
 	for _, item := range p.schedule {
-		reps := item.repeat.resolve(cfg.N)
+		reps := item.repeat.Resolve(cfg.N)
 		for rep := 0; rep < reps; rep++ {
 			for _, name := range item.gens {
 				gi := p.genIndex[name]
-				times := p.gens[gi].times.resolve(cfg.N)
+				times := p.gens[gi].times.Resolve(cfg.N)
 				for sub := 0; sub < times; sub++ {
 					if cfg.Ctx != nil {
 						// Yield so the goroutine calling cancel can run

@@ -1,0 +1,274 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicDiscipline enforces all-or-nothing atomicity: once a memory
+// location is accessed through sync/atomic anywhere, every access must
+// be atomic, because one plain read racing one atomic write is a torn
+// read the race detector only catches when a test happens to interleave
+// it. Three prongs:
+//
+//   - struct fields passed by address to the old-style atomic functions
+//     (atomic.AddInt64(&s.n, 1), CAS loops) are tracked package-wide:
+//     a plain read or write of such a field anywhere outside an
+//     identified init/reset function is flagged;
+//   - slice elements are tracked per function body — the sparse engines
+//     legally read a label plane plainly in one phase and CAS it in the
+//     next, with a pool barrier between, so only mixing atomic and plain
+//     element access of one slice inside the same body is flagged
+//     (that is the interleaving no barrier can order);
+//   - fields of the typed atomic wrappers (atomic.Int64 and friends) may
+//     only be used as method-call receivers or taken by address; copying
+//     the wrapper value or overwriting the whole field bypasses the
+//     atomic protocol.
+//
+// Init/reset functions — constructors returning the owning type,
+// functions named new*/New*, init*/Init*, reset*/Reset* — are exempt
+// from the struct-field prong: before the value is shared there is
+// nothing to race with.
+var AtomicDiscipline = &Analyzer{
+	Name: "atomicdiscipline",
+	Doc: "a memory location accessed via sync/atomic must be accessed atomically everywhere: " +
+		"no plain reads/writes of atomically-updated struct fields outside init/reset functions, " +
+		"no mixed plain/atomic slice-element access in one function body, " +
+		"and typed atomic.* fields only as method receivers or by address",
+	Run: runAtomicDiscipline,
+}
+
+func runAtomicDiscipline(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Pass 1: collect every location used atomically. atomicArgs marks
+	// the exact AST nodes that appear inside an atomic call's address
+	// argument so pass 2 can tell sanctioned uses from plain ones.
+	atomicFields := map[*types.Var]bool{}
+	atomicArgs := map[ast.Node]bool{}
+	// atomicSliceRoots is per enclosing function body.
+	type bodyInfo struct {
+		body  *ast.BlockStmt
+		where string
+	}
+	var bodies []bodyInfo
+	bodySliceRoots := map[*ast.BlockStmt]map[types.Object]bool{}
+
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					bodies = append(bodies, bodyInfo{fn.Body, fn.Name.Name})
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, bodyInfo{fn.Body, "function literal"})
+			}
+			return true
+		})
+	}
+
+	for _, bi := range bodies {
+		roots := map[types.Object]bool{}
+		ast.Inspect(bi.body, func(n ast.Node) bool {
+			// Nested literals are their own bodyInfo entries; the
+			// per-body slice scope must not leak across the closure
+			// boundary (a pool hand-off is exactly such a boundary).
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(info, call) || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			target := ast.Unparen(addr.X)
+			markAtomicNodes(atomicArgs, target)
+			switch t := target.(type) {
+			case *ast.SelectorExpr:
+				if v, ok := info.Uses[t.Sel].(*types.Var); ok && v.IsField() {
+					atomicFields[v] = true
+				}
+			case *ast.IndexExpr:
+				if obj := sliceRootObject(info, t.X); obj != nil {
+					roots[obj] = true
+				}
+			}
+			return true
+		})
+		if len(roots) > 0 {
+			bodySliceRoots[bi.body] = roots
+		}
+	}
+
+	// Pass 2a: plain uses of atomically-updated struct fields.
+	if len(atomicFields) > 0 {
+		for _, fd := range funcDecls(pass.Pkg) {
+			if isInitResetFunc(pass.Pkg, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || atomicArgs[sel] {
+					return true
+				}
+				v, ok := info.Uses[sel.Sel].(*types.Var)
+				if !ok || !atomicFields[v] {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "torn-field-access",
+					"%s accesses %s plainly, but the field is updated via sync/atomic elsewhere; a plain read can observe a torn value — use the atomic API (or move this into an init/reset function)",
+					fd.Name.Name, exprString(sel))
+				return true
+			})
+		}
+	}
+
+	// Pass 2b: mixed plain/atomic element access of one slice in one body.
+	for _, bi := range bodies {
+		roots := bodySliceRoots[bi.body]
+		if len(roots) == 0 {
+			continue
+		}
+		ast.Inspect(bi.body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			ix, ok := n.(*ast.IndexExpr)
+			if !ok || atomicArgs[ix] {
+				return true
+			}
+			obj := sliceRootObject(info, ix.X)
+			if obj == nil || !roots[obj] {
+				return true
+			}
+			pass.Reportf(ix.Pos(), "torn-element-access",
+				"%s accesses an element of %q plainly in the same body that updates its elements via sync/atomic; no barrier can order these — make the access atomic",
+				bi.where, obj.Name())
+			return true
+		})
+	}
+
+	// Pass 2c: typed atomic wrapper fields used other than as a method
+	// receiver or by address.
+	for _, fd := range funcDecls(pass.Pkg) {
+		if isInitResetFunc(pass.Pkg, fd) {
+			continue
+		}
+		sanctioned := map[ast.Node]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				// s.counter.Add(1): the inner selector is the receiver.
+				if inner, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+					sanctioned[inner] = true
+				}
+			case *ast.UnaryExpr:
+				if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			v, ok := info.Uses[sel.Sel].(*types.Var)
+			if !ok || !v.IsField() || !isTypedAtomic(v.Type()) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "typed-atomic-copy",
+				"%s uses the atomic field %s as a plain value; typed atomics must only be used as method-call receivers (Load/Store/Add/…) or taken by address",
+				fd.Name.Name, exprString(sel))
+			return true
+		})
+	}
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package
+// function (the old-style address-taking API).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// markAtomicNodes records target and its selector/index spine as
+// appearing inside an atomic call's address argument.
+func markAtomicNodes(marks map[ast.Node]bool, target ast.Expr) {
+	for {
+		marks[target] = true
+		switch t := target.(type) {
+		case *ast.SelectorExpr:
+			target = ast.Unparen(t.X)
+		case *ast.IndexExpr:
+			target = ast.Unparen(t.X)
+		default:
+			return
+		}
+	}
+}
+
+// sliceRootObject resolves expr to the object of the slice-typed
+// identifier it is rooted in (local, parameter or package variable).
+func sliceRootObject(info *types.Info, expr ast.Expr) types.Object {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+		return nil
+	}
+	return obj
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's wrapper types
+// (atomic.Int64, atomic.Uint32, atomic.Bool, atomic.Value, …).
+func isTypedAtomic(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// isInitResetFunc reports whether fd is an initialisation or reset
+// function, where plain writes to otherwise-atomic fields are fine
+// because the value is not yet (or no longer) shared: a constructor
+// returning the package's own named type, or a function/method whose
+// name marks it as init/reset.
+func isInitResetFunc(pkg *Package, fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	for _, prefix := range []string{"new", "New", "init", "Init", "reset", "Reset"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, res := range fd.Type.Results.List {
+		t := pkg.Info.TypeOf(res.Type)
+		if t == nil {
+			continue
+		}
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok &&
+			named.Obj().Pkg() == pkg.Types {
+			return true
+		}
+	}
+	return false
+}

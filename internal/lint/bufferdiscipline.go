@@ -52,6 +52,7 @@ func runBufferDiscipline(pass *Pass) {
 	}
 	checkRulePurity(pass)
 	checkKernelDiscipline(pass)
+	checkLocalPlanes(pass)
 }
 
 // checkFieldBuffers audits every direct cur/next access inside package
@@ -380,6 +381,202 @@ func checkKernelBody(pass *Pass, info *types.Info, body *ast.BlockStmt, where st
 		}
 		return true
 	})
+}
+
+// checkLocalPlanes extends the kernel discipline to the sparse engines'
+// label planes: a local binding of the form
+//
+//	cur, next := x.labels, x.scratch
+//
+// (both names in one := statement, both slice-typed) establishes the
+// same contract as kernel parameters for the rest of their scope — cur
+// is the committed generation and is read-only, next is the one being
+// built and is write-only, and neither may escape. The sanctioned uses
+// mirror the step code that exists: len/cap, copy(next, cur), invoking
+// a gca.Kernel, and handing both planes to a kernel-shaped helper whose
+// parameters are themselves slices named cur and next (shortcutRange) —
+// that body is audited by checkKernelDiscipline.
+func checkLocalPlanes(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// planeRole maps each bound plane object to "cur" or "next". Keying
+	// by object keeps distinct bindings (one per loop iteration, say)
+	// independent, and means scope rules do the region tracking: the
+	// binding's own LHS idents are Defs, every later use is a Use.
+	planeRole := map[types.Object]string{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok.String() != ":=" {
+				return true
+			}
+			var cur, next types.Object
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || (id.Name != "cur" && id.Name != "next") {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					continue
+				}
+				if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+					continue
+				}
+				if id.Name == "cur" {
+					cur = obj
+				} else {
+					next = obj
+				}
+			}
+			if cur != nil && next != nil {
+				planeRole[cur] = "cur"
+				planeRole[next] = "next"
+			}
+			return true
+		})
+	}
+	if len(planeRole) == 0 {
+		return
+	}
+
+	roleOf := func(expr ast.Expr) (types.Object, string) {
+		for {
+			switch e := ast.Unparen(expr).(type) {
+			case *ast.Ident:
+				if obj := info.Uses[e]; obj != nil {
+					return obj, planeRole[obj]
+				}
+				return nil, ""
+			case *ast.IndexExpr:
+				expr = e.X
+			case *ast.SliceExpr:
+				expr = e.X
+			default:
+				return nil, ""
+			}
+		}
+	}
+	bareRole := func(expr ast.Expr) (types.Object, string) {
+		if id, ok := ast.Unparen(expr).(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				return obj, planeRole[obj]
+			}
+		}
+		return nil, ""
+	}
+
+	for _, f := range pass.Pkg.Files {
+		writeTargets := map[ast.Expr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					writeTargets[ast.Unparen(lhs)] = true
+				}
+			case *ast.IncDecStmt:
+				writeTargets[ast.Unparen(n.X)] = true
+			}
+			return true
+		})
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					lhs = ast.Unparen(lhs)
+					base := lhs
+					if ix, ok := lhs.(*ast.IndexExpr); ok {
+						base = ix.X
+					}
+					if _, role := roleOf(base); role == "cur" {
+						pass.Reportf(lhs.Pos(), "plane-cur-write",
+							"writes the committed label plane via %s; step code must read cur and write only next (swap the planes to commit)",
+							exprString(lhs))
+					}
+				}
+				for _, rhs := range n.Rhs {
+					if obj, role := bareRole(rhs); role != "" {
+						pass.Reportf(rhs.Pos(), "plane-alias",
+							"aliases the %s label plane %q into another variable; the plane contract cannot follow the alias",
+							role, obj.Name())
+					}
+				}
+			case *ast.IndexExpr:
+				if writeTargets[n] {
+					return true
+				}
+				if _, role := roleOf(n.X); role == "next" {
+					pass.Reportf(n.Pos(), "plane-next-read",
+						"reads an element of the in-progress label plane via %s; generation g must be computed from the committed plane (cur) only",
+						exprString(n))
+				}
+			case *ast.RangeStmt:
+				if _, role := bareRole(n.X); role == "next" {
+					pass.Reportf(n.X.Pos(), "plane-next-read",
+						"ranges over the in-progress label plane; generation g must be computed from the committed plane (cur) only")
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					if obj, role := bareRole(r); role != "" {
+						pass.Reportf(r.Pos(), "plane-alias",
+							"returns the %s label plane %q; the raw planes must not escape the step that owns them",
+							role, obj.Name())
+					}
+				}
+			case *ast.CallExpr:
+				if isBuiltin(info, n, "len") || isBuiltin(info, n, "cap") {
+					return true
+				}
+				if isBuiltin(info, n, "copy") && len(n.Args) == 2 {
+					if _, role := roleOf(n.Args[0]); role == "cur" {
+						pass.Reportf(n.Args[0].Pos(), "plane-cur-write",
+							"copies into the committed label plane; step code must read cur and write only next")
+					}
+					if _, role := roleOf(n.Args[1]); role == "next" {
+						pass.Reportf(n.Args[1].Pos(), "plane-next-read",
+							"copies out of the in-progress label plane; generation g must be computed from the committed plane (cur) only")
+					}
+					return true
+				}
+				if isNamedType(info.TypeOf(n.Fun), "gca", "Kernel") {
+					return true
+				}
+				sig := calleeSignature(info, n)
+				for i, arg := range n.Args {
+					obj, role := bareRole(arg)
+					if role == "" {
+						continue
+					}
+					// A kernel-shaped hand-off: the callee's parameter in
+					// this position is a slice with the same role name, so
+					// the callee body carries the contract onward (and is
+					// audited by checkKernelDiscipline when it names both).
+					if sig != nil && i < sig.Params().Len() {
+						p := sig.Params().At(i)
+						if _, isSlice := p.Type().Underlying().(*types.Slice); isSlice && p.Name() == role {
+							continue
+						}
+					}
+					pass.Reportf(arg.Pos(), "plane-alias",
+						"passes the %s label plane %q to %s, whose matching parameter is not a slice named %q; the plane contract cannot follow the call",
+						role, obj.Name(), exprString(n.Fun), role)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// calleeSignature resolves the signature of a call's callee, including
+// function-typed variables (which calleeFunc does not cover), or nil.
+func calleeSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	t := info.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
 }
 
 // checkRulePurity flags any reference to a gca.Field from a method

@@ -17,7 +17,10 @@
 //	//lint:ignore <analyzer> <reason>
 //
 // Each directive suppresses at most one diagnostic of the named analyzer,
-// so a directive can never hide more than the violation it annotates.
+// so a directive can never hide more than the violation it annotates. The
+// reason is mandatory: a directive that names no analyzer or carries no
+// reason suppresses nothing and is itself reported as a diagnostic, so
+// every suppression in the tree documents why it is safe.
 package lint
 
 import (
@@ -80,6 +83,9 @@ func Analyzers() []*Analyzer {
 		CtxFlow,
 		MuGuard,
 		ErrcheckLite,
+		AtomicDiscipline,
+		PoolClose,
+		LockOrder,
 	}
 }
 
@@ -141,38 +147,65 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
-// ignoreDirective is one parsed //lint:ignore comment.
-type ignoreDirective struct {
-	analyzer string
-	file     string
-	line     int // line the comment sits on
+// Suppression is one parsed //lint:ignore directive. Reason is "" when
+// the directive is malformed (no analyzer or no reason) — such a
+// directive suppresses nothing and is reported as a diagnostic.
+type Suppression struct {
+	Analyzer string         `json:"analyzer"`
+	Reason   string         `json:"reason"`
+	Pos      token.Position `json:"pos"`
 }
 
-const ignorePrefix = "//lint:ignore "
+const ignorePrefix = "//lint:ignore"
 
-// applyIgnores drops, for every //lint:ignore directive, at most one
-// diagnostic of the named analyzer located on the directive's own line or
-// the line directly below it.
-func applyIgnores(pkg *Package, diags []Diagnostic) []Diagnostic {
-	var directives []ignoreDirective
+// Suppressions returns every //lint:ignore directive in the package, in
+// source order, malformed ones included. cmd/gca-lint's suppression
+// audit and the count-pinning test are built on it.
+func Suppressions(pkg *Package) []Suppression {
+	var out []Suppression
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
-				if !ok {
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
 					continue
 				}
-				name, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
-				if name == "" {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				directives = append(directives, ignoreDirective{
-					analyzer: name,
-					file:     pos.Filename,
-					line:     pos.Line,
+				name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				out = append(out, Suppression{
+					Analyzer: name,
+					Reason:   strings.TrimSpace(reason),
+					Pos:      pkg.Fset.Position(c.Pos()),
 				})
 			}
+		}
+	}
+	return out
+}
+
+// applyIgnores drops, for every well-formed //lint:ignore directive, at
+// most one diagnostic of the named analyzer located on the directive's
+// own line or the line directly below it. Malformed directives — no
+// analyzer name, or no trailing reason — suppress nothing and are
+// reported as diagnostics themselves.
+func applyIgnores(pkg *Package, diags []Diagnostic) []Diagnostic {
+	directives := Suppressions(pkg)
+	for _, s := range directives {
+		switch {
+		case s.Analyzer == "":
+			diags = append(diags, Diagnostic{
+				Analyzer: "ignore",
+				Category: "malformed",
+				Pos:      s.Pos,
+				Message:  "//lint:ignore names no analyzer; write `//lint:ignore <analyzer> <reason>`",
+			})
+		case s.Reason == "":
+			diags = append(diags, Diagnostic{
+				Analyzer: "ignore",
+				Category: "missing-reason",
+				Pos:      s.Pos,
+				Message: fmt.Sprintf("//lint:ignore %s has no reason; every suppression must say why it is safe: `//lint:ignore %s <reason>`",
+					s.Analyzer, s.Analyzer),
+			})
 		}
 	}
 	if len(directives) == 0 {
@@ -191,11 +224,14 @@ func applyIgnores(pkg *Package, diags []Diagnostic) []Diagnostic {
 	})
 	suppressed := make(map[int]bool)
 	for _, dir := range directives {
+		if dir.Analyzer == "" || dir.Reason == "" {
+			continue // malformed: reported above, suppresses nothing
+		}
 		for i, d := range diags {
-			if suppressed[i] || d.Analyzer != dir.analyzer || d.Pos.Filename != dir.file {
+			if suppressed[i] || d.Analyzer != dir.Analyzer || d.Pos.Filename != dir.Pos.Filename {
 				continue
 			}
-			if d.Pos.Line == dir.line || d.Pos.Line == dir.line+1 {
+			if d.Pos.Line == dir.Pos.Line || d.Pos.Line == dir.Pos.Line+1 {
 				suppressed[i] = true
 				break
 			}

@@ -84,6 +84,13 @@ func TestFixtures(t *testing.T) {
 	dirs := []string{
 		"testdata/src/bufferdiscipline/bad",
 		"testdata/src/bufferdiscipline/clean",
+		"testdata/src/bufferdiscipline/sparse",
+		"testdata/src/atomicdiscipline/bad",
+		"testdata/src/atomicdiscipline/clean",
+		"testdata/src/poolclose/bad",
+		"testdata/src/poolclose/clean",
+		"testdata/src/lockorder/bad",
+		"testdata/src/lockorder/clean",
 		"testdata/src/determinism/bad",
 		"testdata/src/determinism/clean",
 		"testdata/src/ctxflow/bad",
@@ -113,6 +120,9 @@ func TestCleanFixturesProduceNothing(t *testing.T) {
 		"testdata/src/ctxflow/clean",
 		"testdata/src/muguard/clean",
 		"testdata/src/errcheck/clean",
+		"testdata/src/atomicdiscipline/clean",
+		"testdata/src/poolclose/clean",
+		"testdata/src/lockorder/clean",
 	} {
 		abs, _ := filepath.Abs(dir)
 		pkg, err := l.LoadDir(abs, "fixture/"+filepath.ToSlash(dir))
@@ -155,6 +165,74 @@ func TestIgnoreSuppressesExactlyOne(t *testing.T) {
 	run()
 	if raw != 3 {
 		t.Fatalf("fixture drifted: analyzer found %d raw violations, want 3", raw)
+	}
+}
+
+// TestMalformedIgnoreIsError proves a reasonless (or analyzer-less)
+// directive suppresses nothing and surfaces as its own diagnostic.
+func TestMalformedIgnoreIsError(t *testing.T) {
+	l := newTestLoader(t)
+	abs, _ := filepath.Abs("testdata/src/ignorebad")
+	pkg, err := l.LoadDir(abs, "fixture/ignorebad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers(pkg, []*Analyzer{ErrcheckLite})
+	byCat := map[string]int{}
+	for _, d := range diags {
+		byCat[d.Analyzer+"/"+d.Category]++
+	}
+	if byCat["ignore/missing-reason"] != 1 {
+		t.Errorf("missing-reason diagnostics = %d, want 1: %v", byCat["ignore/missing-reason"], diags)
+	}
+	if byCat["ignore/malformed"] != 1 {
+		t.Errorf("malformed diagnostics = %d, want 1: %v", byCat["ignore/malformed"], diags)
+	}
+	// The reasonless directive must NOT have eaten the errcheck finding.
+	if byCat["errcheck/discarded"]+byCat["errcheck/discarded-defer"]+byCat["errcheck/discarded-go"] == 0 {
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == "errcheck" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("reasonless directive suppressed the errcheck diagnostic: %v", diags)
+		}
+	}
+}
+
+// TestSuppressionCountPinned audits every //lint:ignore in the module's
+// non-test sources: each must carry a reason, and the total is pinned so
+// adding a suppression is a deliberate, reviewed act — update the count
+// here and justify the new directive in its reason text.
+func TestSuppressionCountPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module; skipped in -short mode")
+	}
+	const pinnedSuppressions = 1 // internal/pram/primitives.go: ctxflow on a bounded primitive
+	l := newTestLoader(t)
+	paths, err := l.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Errorf("load %s: %v", path, err)
+			continue
+		}
+		for _, s := range Suppressions(pkg) {
+			total++
+			if s.Analyzer == "" || s.Reason == "" {
+				t.Errorf("%s: malformed //lint:ignore (analyzer %q, reason %q)", s.Pos, s.Analyzer, s.Reason)
+			}
+		}
+	}
+	if total != pinnedSuppressions {
+		t.Errorf("module has %d //lint:ignore directives, pinned count is %d; if the new suppression is justified, update the pin",
+			total, pinnedSuppressions)
 	}
 }
 

@@ -1,0 +1,343 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder audits the serving tier's mutexes (internal/service and
+// internal/stream) structurally, where muguard audits them by field
+// grouping:
+//
+//   - hold-and-release: a Lock/RLock without a matching deferred unlock
+//     must be explicitly unlocked on every path — before every return
+//     statement that follows it and before the function falls off the
+//     end. The service admission path does this deliberately (one
+//     critical section, many rejection exits); this check keeps every
+//     future exit honest.
+//   - ordering: the package-level mutex-acquisition graph — an edge
+//     A → B whenever B is acquired (directly, or by a called function
+//     of the same package) while A is held — must be acyclic. A cycle
+//     is a latent deadlock: two goroutines entering it from different
+//     ends stall forever, which in this repo means a wedged worker pool
+//     that Close waits on unboundedly.
+//
+// The hold-and-release check is positional, not a CFG proof: an unlock
+// placed between the Lock and a return satisfies it even if a branch
+// skips it. It is exact for the straight-line critical sections the
+// serving tier actually writes, and the race detector stays the ground
+// truth for the rest.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "in internal/service and internal/stream, every non-deferred Lock/RLock must be " +
+		"unlocked before each subsequent return and before function end, and the mutex " +
+		"acquisition graph (lock-while-holding, one call level deep) must be acyclic",
+	Run: runLockOrder,
+}
+
+// lockOrderPackages are the serving-tier packages whose locking this
+// analyzer audits; the engines are lock-free by design (bufferdiscipline
+// territory) and their fixtures should not trip lock heuristics.
+var lockOrderPackages = map[string]bool{
+	"service": true,
+	"stream":  true,
+}
+
+// lockEvent is one Lock/RLock/Unlock/RUnlock call on a resolved mutex.
+type lockEvent struct {
+	key      *types.Var // the mutex field or variable object
+	name     string     // display name, e.g. "Service.mu"
+	kind     string     // "Lock", "RLock", "Unlock", "RUnlock"
+	deferred bool
+	pos      token.Pos
+}
+
+func (e lockEvent) acquires() bool { return e.kind == "Lock" || e.kind == "RLock" }
+
+// unlockKind maps an acquisition to its matching release.
+func unlockKind(kind string) string {
+	if kind == "RLock" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+func runLockOrder(pass *Pass) {
+	if !lockOrderPackages[pass.Pkg.Name] {
+		return
+	}
+	info := pass.Pkg.Info
+
+	// Bodies are scoped like atomicdiscipline: a function literal is its
+	// own body (a goroutine's locks are not nested inside its creator's).
+	type lockBody struct {
+		body  *ast.BlockStmt
+		where string
+		fn    *types.Func // nil for literals
+	}
+	var bodies []lockBody
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					obj, _ := info.Defs[fn.Name].(*types.Func)
+					bodies = append(bodies, lockBody{fn.Body, fn.Name.Name, obj})
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, lockBody{fn.Body, "function literal", nil})
+			}
+			return true
+		})
+	}
+
+	events := map[*ast.BlockStmt][]lockEvent{}
+	returns := map[*ast.BlockStmt][]token.Pos{}
+	calls := map[*ast.BlockStmt][]*ast.CallExpr{}
+	for _, lb := range bodies {
+		ast.Inspect(lb.body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				if ev, ok := mutexEvent(info, n.Call); ok {
+					ev.deferred = true
+					events[lb.body] = append(events[lb.body], ev)
+					return false // don't revisit the call as a plain event
+				}
+			case *ast.CallExpr:
+				if ev, ok := mutexEvent(info, n); ok {
+					events[lb.body] = append(events[lb.body], ev)
+				} else {
+					calls[lb.body] = append(calls[lb.body], n)
+				}
+			case *ast.ReturnStmt:
+				returns[lb.body] = append(returns[lb.body], n.Pos())
+			}
+			return true
+		})
+	}
+
+	// funcLocks: which mutexes each declared function acquires directly —
+	// the one level of interprocedural depth the acquisition graph gets.
+	funcLocks := map[*types.Func][]lockEvent{}
+	for _, lb := range bodies {
+		if lb.fn == nil {
+			continue
+		}
+		for _, ev := range events[lb.body] {
+			if ev.acquires() && !ev.deferred {
+				funcLocks[lb.fn] = append(funcLocks[lb.fn], ev)
+			}
+		}
+	}
+
+	// Check 1: hold-and-release on every path.
+	for _, lb := range bodies {
+		evs := events[lb.body]
+		for _, L := range evs {
+			if !L.acquires() || L.deferred {
+				continue
+			}
+			want := unlockKind(L.kind)
+			hasDeferred := false
+			var explicit []token.Pos
+			for _, e := range evs {
+				if e.key != L.key || e.kind != want || e.pos <= L.pos {
+					continue
+				}
+				if e.deferred {
+					hasDeferred = true
+				} else {
+					explicit = append(explicit, e.pos)
+				}
+			}
+			if hasDeferred {
+				continue
+			}
+			if len(explicit) == 0 {
+				pass.Reportf(L.pos, "missing-unlock",
+					"%s acquires %s.%s with no deferred or later %s in this body; every path out leaks the lock",
+					lb.where, L.name, L.kind, want)
+				continue
+			}
+			for _, r := range returns[lb.body] {
+				if r <= L.pos {
+					continue
+				}
+				released := false
+				for _, u := range explicit {
+					if u > L.pos && u < r {
+						released = true
+						break
+					}
+				}
+				if !released {
+					pass.Reportf(r, "return-while-locked",
+						"%s returns after acquiring %s.%s without an intervening %s; this path exits with the lock held — unlock before returning or switch to defer",
+						lb.where, L.name, L.kind, want)
+				}
+			}
+		}
+	}
+
+	// Check 2: the acquisition graph must be acyclic.
+	type edge struct {
+		to   *types.Var
+		name string
+		pos  token.Pos
+		via  string // "" for a direct nested acquisition, else callee name
+	}
+	graph := map[*types.Var][]edge{}
+	keyName := map[*types.Var]string{}
+	for _, lb := range bodies {
+		evs := events[lb.body]
+		for _, L := range evs {
+			if !L.acquires() || L.deferred {
+				continue
+			}
+			keyName[L.key] = L.name
+			end := heldUntil(lb.body, evs, L)
+			for _, e := range evs {
+				if e.acquires() && !e.deferred && e.key != L.key && e.pos > L.pos && e.pos < end {
+					graph[L.key] = append(graph[L.key], edge{e.key, e.name, e.pos, ""})
+					keyName[e.key] = e.name
+				}
+			}
+			for _, call := range calls[lb.body] {
+				if call.Pos() <= L.pos || call.Pos() >= end {
+					continue
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg() != pass.Pkg.Types {
+					continue
+				}
+				for _, nested := range funcLocks[fn] {
+					if nested.key != L.key {
+						graph[L.key] = append(graph[L.key], edge{nested.key, nested.name, call.Pos(), fn.Name()})
+						keyName[nested.key] = nested.name
+					}
+				}
+			}
+		}
+	}
+
+	// DFS over keys in display order so reports are deterministic.
+	keys := make([]*types.Var, 0, len(graph))
+	for k := range graph {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyName[keys[i]] < keyName[keys[j]] })
+
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[*types.Var]int{}
+	var stack []*types.Var
+	reported := map[*types.Var]bool{}
+	var visit func(k *types.Var)
+	visit = func(k *types.Var) {
+		color[k] = grey
+		stack = append(stack, k)
+		for _, e := range graph[k] {
+			switch color[e.to] {
+			case white:
+				visit(e.to)
+			case grey:
+				if reported[e.to] {
+					break
+				}
+				reported[e.to] = true
+				// Reconstruct the cycle from the grey stack.
+				i := len(stack) - 1
+				for i > 0 && stack[i] != e.to {
+					i--
+				}
+				var names []string
+				for _, k := range stack[i:] {
+					names = append(names, keyName[k])
+				}
+				names = append(names, keyName[e.to])
+				via := ""
+				if e.via != "" {
+					via = " (via call to " + e.via + ")"
+				}
+				pass.Reportf(e.pos, "lock-cycle",
+					"acquiring %s while holding %s%s closes the cycle %s; two goroutines entering from different ends deadlock",
+					e.name, keyName[k], via, strings.Join(names, " → "))
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[k] = black
+	}
+	for _, k := range keys {
+		if color[k] == white {
+			visit(k)
+		}
+	}
+}
+
+// heldUntil returns the position up to which L is held: the first
+// matching explicit unlock after it, or the body end when the unlock is
+// deferred or missing.
+func heldUntil(body *ast.BlockStmt, evs []lockEvent, L lockEvent) token.Pos {
+	want := unlockKind(L.kind)
+	end := body.End()
+	for _, e := range evs {
+		if e.key == L.key && e.kind == want && !e.deferred && e.pos > L.pos && e.pos < end {
+			end = e.pos
+		}
+	}
+	return end
+}
+
+// mutexEvent resolves call as a Lock/RLock/Unlock/RUnlock method call on
+// a sync.Mutex/RWMutex whose identity the analyzer can pin down: a
+// struct field (keyed by its field object, so all instances of the type
+// share one graph node) or a plain mutex variable.
+func mutexEvent(info *types.Info, call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return lockEvent{}, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return lockEvent{}, false
+	}
+	recv := ast.Unparen(sel.X)
+	t := info.TypeOf(recv)
+	if t == nil || !(isNamedType(t, "sync", "Mutex") || isNamedType(t, "sync", "RWMutex")) {
+		return lockEvent{}, false
+	}
+	switch recv := recv.(type) {
+	case *ast.SelectorExpr:
+		v, ok := info.Uses[recv.Sel].(*types.Var)
+		if !ok || !v.IsField() {
+			return lockEvent{}, false
+		}
+		name := v.Name()
+		if owner := info.TypeOf(recv.X); owner != nil {
+			ot := owner
+			if ptr, ok := ot.(*types.Pointer); ok {
+				ot = ptr.Elem()
+			}
+			if named, ok := ot.(*types.Named); ok {
+				name = named.Obj().Name() + "." + name
+			}
+		}
+		return lockEvent{key: v, name: name, kind: sel.Sel.Name, pos: call.Pos()}, true
+	case *ast.Ident:
+		v, ok := info.Uses[recv].(*types.Var)
+		if !ok {
+			return lockEvent{}, false
+		}
+		return lockEvent{key: v, name: v.Name(), kind: sel.Sel.Name, pos: call.Pos()}, true
+	}
+	return lockEvent{}, false
+}

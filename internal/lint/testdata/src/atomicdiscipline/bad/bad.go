@@ -1,0 +1,46 @@
+// Package sparse is a deliberately-bad fixture: memory locations that
+// are updated through sync/atomic somewhere but accessed plainly
+// elsewhere — the torn reads atomicdiscipline exists to catch.
+package sparse
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	total int64
+}
+
+// bump updates hits atomically; from here on the field is atomic-only.
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// report mixes a plain read of hits with an atomic read of total.
+func (c *counters) report() int64 {
+	return c.hits + atomic.LoadInt64(&c.total) // want "accesses c.hits plainly"
+}
+
+// tornMin reads an element plainly and CASes the same slice in one body;
+// no pool barrier can order the two.
+func tornMin(labels []int32, v int32) {
+	old := labels[0] // want "plainly in the same body"
+	if v < old {
+		atomic.StoreInt32(&labels[0], v)
+	}
+}
+
+type gauge struct {
+	n atomic.Int64
+}
+
+// snapshot copies the typed atomic out of its field, silently dropping
+// the atomicity of every later use.
+func (g *gauge) snapshot() atomic.Int64 {
+	return g.n // want "as a plain value"
+}
+
+// drain copies the wrapper into a local before loading from the copy.
+func (g *gauge) drain() int64 {
+	v := g.n // want "as a plain value"
+	return v.Load()
+}

@@ -1,0 +1,78 @@
+// Package sparse is a clean fixture: the atomic idioms the real engines
+// and metrics use must pass without a diagnostic.
+package sparse
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	total int64
+}
+
+// newCounters writes the fields plainly — constructors are exempt, the
+// value is not shared yet.
+func newCounters() *counters {
+	c := &counters{}
+	c.hits = 0
+	c.total = 0
+	return c
+}
+
+// resetStats is exempt by name: reset happens while no one else holds
+// the value.
+func (c *counters) resetStats() {
+	c.hits = 0
+	c.total = 0
+}
+
+// bump and snapshot keep every access atomic.
+func (c *counters) bump(n int64) {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.total, n)
+}
+
+func (c *counters) snapshot() (int64, int64) {
+	return atomic.LoadInt64(&c.hits), atomic.LoadInt64(&c.total)
+}
+
+// atomicMin is the sparse engines' CAS loop: the slice is touched only
+// atomically inside this body.
+func atomicMin(arr []int32, i int, v int32) bool {
+	for {
+		old := atomic.LoadInt32(&arr[i])
+		if v >= old {
+			return false
+		}
+		if atomic.CompareAndSwapInt32(&arr[i], old, v) {
+			return true
+		}
+	}
+}
+
+// relabel reads the plane plainly and proposes updates through
+// atomicMin: the atomic access lives in atomicMin's body, the plain
+// reads here are separated from it by the pool barrier between phases —
+// exactly the cross-body mix the per-body scoping permits.
+func relabel(prev, out []int32, edges [][2]int) {
+	for _, e := range edges {
+		lu, lv := prev[e[0]], prev[e[1]]
+		if lu < lv {
+			atomicMin(out, e[1], lu)
+		} else if lv < lu {
+			atomicMin(out, e[0], lv)
+		}
+	}
+}
+
+type gauge struct {
+	n atomic.Int64
+}
+
+// Typed atomics used as method receivers or by address are the sanctioned
+// forms.
+func (g *gauge) add(d int64) { g.n.Add(d) }
+func (g *gauge) load() int64 { return g.n.Load() }
+
+func (g *gauge) pointerTo() *atomic.Int64 {
+	return &g.n
+}

@@ -1,0 +1,66 @@
+// Package sparse exercises the local label-plane extension of
+// bufferdiscipline: a `cur, next := …` binding of two slices creates the
+// same read-cur/write-next contract the kernel parameters carry, with
+// the sparse engines' real idiom — copy, len, and the kernel-shaped
+// shortcutRange hand-off — sanctioned.
+package sparse
+
+type run struct {
+	labels, scratch []int32
+}
+
+// shortcutRange is the package's cur/next kernel; its body is audited by
+// the kernel discipline (parameters named cur and next).
+func shortcutRange(cur, next []int32, lo, hi int) bool {
+	hit := false
+	for v := lo; v < hi; v++ {
+		l := cur[cur[v]]
+		next[v] = l
+		if l != cur[v] {
+			hit = true
+		}
+	}
+	return hit
+}
+
+// step is the real engines' shape: bind the planes, bulk-copy forward,
+// hand both to the kernel helper, commit by swapping the struct fields.
+func (r *run) step() bool {
+	cur, next := r.labels, r.scratch
+	copy(next, cur)
+	hit := shortcutRange(cur, next, 0, len(cur))
+	if hit {
+		r.labels, r.scratch = r.scratch, r.labels
+	}
+	return hit
+}
+
+// inline element access honours the roles: read cur, write next.
+func (r *run) stepInline() {
+	cur, next := r.labels, r.scratch
+	for v := range cur {
+		next[v] = cur[cur[v]]
+	}
+	r.labels, r.scratch = r.scratch, r.labels
+}
+
+// badStep violates the plane contract in every way the extension must
+// catch.
+func (r *run) badStep() int32 {
+	cur, next := r.labels, r.scratch
+	cur[0] = 1   // want "writes the committed label plane"
+	v := next[0] // want "reads an element of the in-progress label plane"
+	leak := cur  // want "aliases the cur label plane"
+	_ = leak
+	process(next) // want "passes the next label plane"
+	return v
+}
+
+// badCopy inverts the copy direction, one end at a time.
+func badCopy(r *run, other []int32) {
+	cur, next := r.labels, r.scratch
+	copy(cur, other)  // want "copies into the committed label plane"
+	copy(other, next) // want "copies out of the in-progress label plane"
+}
+
+func process(buf []int32) { _ = buf }

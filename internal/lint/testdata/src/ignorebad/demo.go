@@ -1,0 +1,17 @@
+// Package demo exercises the malformed //lint:ignore paths: a directive
+// with no reason and a directive with no analyzer both suppress nothing
+// and are themselves reported.
+package demo
+
+import "io"
+
+func fail() error { return io.EOF }
+
+func NoReason() {
+	fail() //lint:ignore errcheck
+}
+
+func NoAnalyzer() {
+	//lint:ignore
+	_ = fail()
+}

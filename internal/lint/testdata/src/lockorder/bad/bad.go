@@ -1,0 +1,55 @@
+// Package service is a deliberately-bad fixture for lockorder: locks
+// leaked on early returns, locks never released, and a two-mutex cycle.
+// The blank line after each mu keeps muguard's field grouping out of
+// play — this fixture is about lock structure, not field guarding.
+package service
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+
+	n int
+}
+
+type B struct {
+	mu sync.Mutex
+
+	n int
+}
+
+// leakLock acquires and never releases: every path out holds the lock.
+func leakLock(a *A) {
+	a.mu.Lock() // want "no deferred or later Unlock"
+	a.n++
+}
+
+// earlyReturn unlocks on the fall-through path but not before the
+// bailout return.
+func earlyReturn(a *A, cond bool) int {
+	a.mu.Lock()
+	if cond {
+		return a.n // want "exits with the lock held"
+	}
+	v := a.n
+	a.mu.Unlock()
+	return v
+}
+
+// lockAB and lockBA acquire the two mutexes in opposite orders: the
+// acquisition graph has the cycle A.mu → B.mu → A.mu.
+func lockAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.n += b.n
+}
+
+func lockBA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want "closes the cycle"
+	defer a.mu.Unlock()
+	b.n += a.n
+}

@@ -1,0 +1,95 @@
+// Package service is a clean fixture for lockorder: the locking shapes
+// the real serving tier uses must pass without a diagnostic — the defer
+// idiom, the admission path's explicit unlock before every rejection
+// exit, read locks, a consistent two-mutex order, and a helper that
+// locks the second mutex on the first's behalf.
+package service
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+
+	n int
+}
+
+type B struct {
+	mu sync.Mutex
+
+	n int
+}
+
+type R struct {
+	mu sync.RWMutex
+
+	n int
+}
+
+func deferred(a *A) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.n++
+}
+
+// admission mirrors the Submit path: one critical section, an explicit
+// unlock before each rejection exit and before the success path's
+// return.
+func admission(a *A, full, closed bool) int {
+	a.mu.Lock()
+	if closed {
+		a.mu.Unlock()
+		return -1
+	}
+	if full {
+		a.mu.Unlock()
+		return 0
+	}
+	a.n++
+	v := a.n
+	a.mu.Unlock()
+	return v
+}
+
+func read(r *R) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.n
+}
+
+func write(r *R) {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}
+
+// consistentOrder always takes A before B: an edge, not a cycle.
+func consistentOrder(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.n += b.n
+}
+
+// viaHelper also takes A before B, one call level deep.
+func viaHelper(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	bumpB(b)
+}
+
+func bumpB(b *B) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// sequential releases A before touching B: no edge at all.
+func sequential(a *A, b *B) {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}

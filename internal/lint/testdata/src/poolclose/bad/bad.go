@@ -1,0 +1,39 @@
+// Package stream is a deliberately-bad fixture: worker-pool values
+// created and then abandoned — the goroutine leaks poolclose exists to
+// catch.
+package stream
+
+type Pool struct{ ch chan int }
+
+func NewPool(n int) *Pool {
+	return &Pool{ch: make(chan int, n)}
+}
+
+func (p *Pool) Close() { close(p.ch) }
+
+// leak never closes the pool and never hands it off.
+func leak(n int) int {
+	p := NewPool(n) // want "never closes it"
+	return n + cap(p.ch)
+}
+
+// earlyReturn registers the deferred Close only after a bailout path.
+func earlyReturn(n int) int {
+	p := NewPool(n)
+	if n < 0 {
+		return 0 // want "returns between creating"
+	}
+	defer p.Close()
+	return cap(p.ch)
+}
+
+// multiReturn closes explicitly, but a path escapes before the close.
+func multiReturn(n int) int {
+	p := NewPool(n)
+	if n == 0 {
+		return 0 // want "returns between creating"
+	}
+	v := cap(p.ch)
+	p.Close()
+	return v
+}

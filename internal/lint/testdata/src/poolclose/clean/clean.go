@@ -1,0 +1,59 @@
+// Package stream is a clean fixture: every sanctioned way of pairing a
+// pool creation with its Close, and every sanctioned ownership escape.
+package stream
+
+type Pool struct{ ch chan int }
+
+func NewPool(n int) *Pool {
+	return &Pool{ch: make(chan int, n)}
+}
+
+func (p *Pool) Close() { close(p.ch) }
+
+type Server struct{ pool *Pool }
+
+// deferred is the preferred pairing: defer directly after the creation.
+func deferred(n int) int {
+	p := NewPool(n)
+	defer p.Close()
+	return cap(p.ch)
+}
+
+// explicit closes on the single path out.
+func explicit(n int) int {
+	p := NewPool(n)
+	v := cap(p.ch)
+	p.Close()
+	return v
+}
+
+// escapes: ownership moves to the struct, the caller, the callee or the
+// channel — the Close obligation travels with it.
+func newServer(n int) *Server {
+	p := NewPool(n)
+	return &Server{pool: p}
+}
+
+func handOff(n int) *Pool {
+	p := NewPool(n)
+	return p
+}
+
+func stored(s *Server, n int) {
+	p := NewPool(n)
+	s.pool = p
+}
+
+func passed(n int) {
+	p := NewPool(n)
+	adopt(p)
+}
+
+func sent(n int, sink chan *Pool) {
+	p := NewPool(n)
+	sink <- p
+}
+
+func adopt(p *Pool) {
+	defer p.Close()
+}
