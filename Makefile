@@ -97,8 +97,14 @@ bench-json:
 
 # One iteration of every benchmark: catches benchmarks that no longer
 # compile or crash without paying for a full measurement run (CI gate).
+# The second line runs the pass/fail performance gates (internal/core
+# bench smoke tests): the kernel fast path must beat the generic
+# per-cell path, workers=8 must not be meaningfully slower than
+# workers=1, and one full n=1024 run must finish inside a generous
+# wall-clock ceiling.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+	GCACC_BENCH_SMOKE=1 $(GO) test -count=1 -run '^TestBenchSmoke' -v ./internal/core
 
 serve:
 	$(GO) run ./cmd/gca-serve

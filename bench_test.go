@@ -31,9 +31,13 @@ func benchGraph(n int) *graph.Graph {
 }
 
 // BenchmarkFigure2GCAProgram runs the full 12-generation program (the
-// state machine of Figure 2) for a sweep of sizes.
+// state machine of Figure 2) for a sweep of sizes. The 256–1024 tail is
+// the scaling regime the active-region scheduler exists for: above
+// n=128 the plan-routed kernels and in-place span commits dominate the
+// profile, so these points are the ones that move when that machinery
+// regresses.
 func BenchmarkFigure2GCAProgram(b *testing.B) {
-	for _, n := range []int{8, 16, 32, 64, 128} {
+	for _, n := range []int{8, 16, 32, 64, 128, 256, 512, 1024} {
 		g := benchGraph(n)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			var gens int
@@ -246,17 +250,24 @@ func BenchmarkGCAvsBaselines(b *testing.B) {
 
 // BenchmarkEngineWorkers measures the simulator's multicore scaling (the
 // engine, not the model): one full program run under different worker
-// counts.
+// counts, at the historical n=128 point and at the n=1024 scale the
+// active-region scheduler targets. ReportAllocs puts allocs/op into the
+// committed trajectory (gca-benchjson), pinning the per-worker
+// allocation flatness the global stepping pool guarantees: the curve
+// must stay level as workers grow, not climb.
 func BenchmarkEngineWorkers(b *testing.B) {
-	g := benchGraph(128)
-	for _, w := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := core.Run(g, core.Options{Workers: w}); err != nil {
-					b.Fatal(err)
+	for _, n := range []int{128, 1024} {
+		g := benchGraph(n)
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Run(g, core.Options{Workers: w}); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 

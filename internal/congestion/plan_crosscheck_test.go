@@ -1,0 +1,81 @@
+// The cross-check below lives in an external test package because it
+// drives internal/verify, which itself imports congestion for its
+// analytic oracles.
+package congestion_test
+
+import (
+	"testing"
+
+	"gcacc/internal/congestion"
+	"gcacc/internal/core"
+	"gcacc/internal/gca"
+	"gcacc/internal/verify"
+)
+
+// TestPlanWithinActiveBoundAllGenerations pins the schedule-derived
+// active regions against the analytic Table-1 account for every
+// (generation, sub-generation) of the Figure-2 schedule, across sizes:
+// the region a generation declares (core.GenerationPlan, the same plan
+// PlanFor hands the machine) can never exceed congestion.ActiveBound.
+func TestPlanWithinActiveBoundAllGenerations(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 7, 8, 16, 31, 32} {
+		for _, ctx := range core.Schedule(n, 0) {
+			p := core.GenerationPlan(n, ctx.Generation, ctx.Sub)
+			bound := congestion.ActiveBound(ctx.Generation, n)
+			if p.Cells() > bound {
+				t.Errorf("n=%d gen %d sub %d: declared region has %d cells, ActiveBound is %d",
+					n, ctx.Generation, ctx.Sub, p.Cells(), bound)
+			}
+		}
+	}
+}
+
+// TestPlanNeverUnderCoversOnCorpus runs the Figure-2 program over the
+// conformance corpus and asserts, for every committed sub-generation,
+//
+//	Stats.Active ≤ plan.Cells() ≤ congestion.ActiveBound(gen, n)
+//
+// The left inequality is the safety direction: a schedule-derived region
+// smaller than the cells that actually change state would mean the
+// machine skipped live work — the plans can never silently under-cover.
+// The right inequality ties the schedule to the paper's analytic
+// account.
+func TestPlanNeverUnderCoversOnCorpus(t *testing.T) {
+	for _, budget := range []int{9, 16} {
+		for _, c := range verify.Corpus(budget, 1) {
+			n := c.Graph.N()
+			if n == 0 {
+				continue
+			}
+			type stepObs struct {
+				ctx    gca.Context
+				active int
+			}
+			var steps []stepObs
+			obs := gca.ObserverFunc(func(_ *gca.Field, s *gca.StepStats) {
+				steps = append(steps, stepObs{ctx: s.Ctx, active: s.Active})
+			})
+			if _, err := core.Run(c.Graph, core.Options{Workers: 2, Observer: obs}); err != nil {
+				t.Fatalf("%s (budget %d): %v", c.Name, budget, err)
+			}
+			if len(steps) == 0 {
+				t.Fatalf("%s (budget %d): observer saw no steps", c.Name, budget)
+			}
+			for _, s := range steps {
+				p := core.GenerationPlan(n, s.ctx.Generation, s.ctx.Sub)
+				cells := p.Cells()
+				if p == (gca.Plan{}) {
+					cells = n * (n + 1) // whole-field fallback
+				}
+				if s.active > cells {
+					t.Errorf("%s (budget %d): gen %d sub %d: observed %d active cells but the declared region has only %d",
+						c.Name, budget, s.ctx.Generation, s.ctx.Sub, s.active, cells)
+				}
+				if bound := congestion.ActiveBound(s.ctx.Generation, n); cells > bound {
+					t.Errorf("%s (budget %d): gen %d sub %d: declared region %d cells exceeds ActiveBound %d",
+						c.Name, budget, s.ctx.Generation, s.ctx.Sub, cells, bound)
+				}
+			}
+		}
+	}
+}

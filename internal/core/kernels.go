@@ -2,333 +2,333 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"gcacc/internal/gca"
 )
 
-// This file is the bulk-kernel fast path of the Figure-2 program: one
-// specialised evaluator per generation, operating directly on the field's
-// raw struct-of-arrays slices instead of going through the per-cell
-// Pointer/Update interface dispatch of rule. The machine selects a kernel
-// per step (gca.KernelRule) whenever congestion collection and pointer
-// capture are off; the lockstep tests in kernel_lockstep_test.go pin the
-// kernels bit-identical — field contents, active counts and read counts —
-// to the generic path for every committed sub-generation.
+// This file is the bulk fast path of the Figure-2 program: one
+// specialised evaluator per generation (gca.KernelRule) plus the
+// per-generation active-region schedule (gca.KernelPlanner), operating
+// directly on the field's raw struct-of-arrays slices instead of going
+// through the per-cell Pointer/Update interface dispatch of rule.
+//
+// The machine invokes a kernel only on runs of plan-active cells, and
+// every plan segment lies within a single row of the paper's (n+1)×n
+// layout. That is the load-bearing contract of this file: a kernel may
+// assume its whole [lo, hi) range shares one row (and, for the sparse
+// column-0 generations, is a single cell), so all row/column arithmetic
+// and per-row global operands (C(row), T(row), the row index itself)
+// hoist out of the inner loop, which is branch-free over contiguous
+// memory. Passive cells never reach a kernel: the machine bulk-copies
+// them (sweep mode) or skips them outright (span mode).
 //
 // Kernels follow the machine's buffer discipline (enforced by the
 // bufferdiscipline analyzer): read cur and a, write exactly next[lo:hi],
-// never alias. Row/column arithmetic is hoisted out of the cell loop: the
-// square field is walked row segment by row segment so the per-row global
-// operand (C(row), T(row), row itself) is loaded once per segment rather
-// than once per cell.
+// never alias. The lockstep tests in kernel_lockstep_test.go and
+// plan_lockstep_test.go pin kernels + plans bit-identical — field
+// contents, active counts and read counts — to the generic path for
+// every committed sub-generation at several worker counts.
 
-var _ gca.KernelRule = rule{}
+var _ gca.KernelPlanner = rule{}
+
+// kernelTable holds the kernels for one field size n, indexed by
+// generation then sub-generation. Kernels are pure closures over n, so
+// one table serves every machine and every step at that size; caching it
+// process-wide removes the per-step closure allocations the old
+// KernelFor paid (visible as alloc growth in the bench trajectory).
+type kernelTable struct {
+	byGen [][]gca.Kernel
+}
+
+// kernelCache maps field size n to its *kernelTable.
+var kernelCache sync.Map
+
+func kernelsFor(n int) *kernelTable {
+	if t, ok := kernelCache.Load(n); ok {
+		return t.(*kernelTable)
+	}
+	t, _ := kernelCache.LoadOrStore(n, buildKernelTable(n))
+	return t.(*kernelTable)
+}
+
+func buildKernelTable(n int) *kernelTable {
+	logn := Log2Ceil(n)
+	one := func(k gca.Kernel) []gca.Kernel { return []gca.Kernel{k} }
+	t := &kernelTable{byGen: make([][]gca.Kernel, GenFinalMin+1)}
+	t.byGen[GenInit] = one(kernelInit(n))
+	t.byGen[GenCopyC] = one(kernelBroadcast(n, false))
+	t.byGen[GenCopyT] = one(kernelBroadcast(n, true))
+	t.byGen[GenMaskAdj] = one(kernelMaskAdj(n))
+	reduce := make([]gca.Kernel, logn)
+	for s := range reduce {
+		reduce[s] = kernelReduce(n, 1<<uint(s))
+	}
+	t.byGen[GenReduceT] = reduce
+	t.byGen[GenReduceT2] = reduce
+	t.byGen[GenDefaultT] = one(kernelDefaultT(n))
+	t.byGen[GenDefaultT2] = t.byGen[GenDefaultT]
+	t.byGen[GenMaskComp] = one(kernelMaskComp(n))
+	t.byGen[GenSpread] = one(kernelSpread(n))
+	short := make([]gca.Kernel, logn)
+	for s := range short {
+		short[s] = kernelShortcut(n, s)
+	}
+	t.byGen[GenShortcut] = short
+	t.byGen[GenFinalMin] = one(kernelFinalMin(n))
+	return t
+}
 
 // KernelFor implements gca.KernelRule. The choice depends only on ctx, so
-// every shard of a step agrees on the path taken.
+// every shard of a step agrees on the path taken; the lookup allocates
+// nothing (the per-size table is built once, process-wide).
 func (r rule) KernelFor(ctx gca.Context) gca.Kernel {
+	t := kernelsFor(r.lay.N)
+	if ctx.Generation < 0 || ctx.Generation >= len(t.byGen) {
+		return nil
+	}
+	ks := t.byGen[ctx.Generation]
+	if ctx.Sub < 0 || ctx.Sub >= len(ks) {
+		return nil
+	}
+	return ks[ctx.Sub]
+}
+
+// PlanFor implements gca.KernelPlanner: the active region of each
+// Figure-2 generation, straight from the paper's schedule (Table 1's
+// active-cell account). Every region is a rectangle of the (n+1)×n
+// layout, expressed as per-row segments so kernel runs never cross a row:
+//
+//	init/copyC/copyT   all n+1 rows            (copyT's bottom row reads and discards)
+//	maskAdj/maskComp   the n square rows
+//	reduce sub s       columns [0, n−2ˢ) of the square rows
+//	defaultT/shortcut/finalMin
+//	                   column 0 of the square rows (n cells — span mode)
+//	spread             columns [1, n) of the square rows
+//
+// Cells outside the region neither change state nor perform a global
+// read, which the plan-lockstep battery and the congestion cross-check
+// (plan size ≤ congestion.ActiveBound, ≥ observed Stats.Active) pin.
+func (r rule) PlanFor(ctx gca.Context) gca.Plan {
 	n := r.lay.N
 	switch ctx.Generation {
-	case GenInit:
-		return kernelInit(n)
-	case GenCopyC:
-		return kernelBroadcastColumn(n, false)
-	case GenCopyT:
-		return kernelBroadcastColumn(n, true)
-	case GenMaskAdj:
-		return kernelMaskAdj(n)
+	case GenInit, GenCopyC, GenCopyT:
+		return gca.Plan{Lo: 0, SegLen: n, Stride: n, Count: n + 1}
+	case GenMaskAdj, GenMaskComp:
+		return gca.Plan{Lo: 0, SegLen: n, Stride: n, Count: n}
 	case GenReduceT, GenReduceT2:
-		return kernelReduce(n, 1<<uint(ctx.Sub))
-	case GenDefaultT, GenDefaultT2:
-		return kernelDefaultT(n)
-	case GenMaskComp:
-		return kernelMaskComp(n)
+		seg := n - 1<<uint(ctx.Sub)
+		if seg < 0 {
+			seg = 0
+		}
+		return gca.Plan{Lo: 0, SegLen: seg, Stride: n, Count: n}
+	case GenDefaultT, GenDefaultT2, GenShortcut, GenFinalMin:
+		return gca.Plan{Lo: 0, SegLen: 1, Stride: n, Count: n}
 	case GenSpread:
-		return kernelSpread(n)
-	case GenShortcut:
-		return kernelShortcut(n, ctx)
-	case GenFinalMin:
-		return kernelFinalMin(n, ctx)
+		return gca.Plan{Lo: 1, SegLen: n - 1, Stride: n, Count: n}
 	}
-	return nil
+	return gca.Plan{} // unknown generation: declare the whole field
+}
+
+// GenerationPlan returns the active region the Figure-2 rule declares for
+// one (generation, sub-generation) at size n — exactly what PlanFor hands
+// the machine. Exported for the scheduling cross-checks in the congestion
+// and conformance test tiers.
+func GenerationPlan(n, gen, sub int) gca.Plan {
+	return rule{lay: Layout{N: n}}.PlanFor(gca.Context{Generation: gen, Sub: sub})
 }
 
 // kernelInit is generation 0: d ← row(index) for every cell, no reads.
+// The run shares one row, so the stored value is a single hoisted
+// constant.
 func kernelInit(n int) gca.Kernel {
 	return func(lo, hi int, cur, next, _ []gca.Value) (int, int, error) {
+		v := gca.Value(lo / n)
 		active := 0
-		row := lo / n
-		for i := lo; i < hi; {
-			end := min((row+1)*n, hi)
-			v := gca.Value(row)
-			for ; i < end; i++ {
-				next[i] = v
-				if cur[i] != v {
-					active++
-				}
+		for i := lo; i < hi; i++ {
+			if cur[i] != v {
+				active++
 			}
-			row++
+			next[i] = v
 		}
 		return active, 0, nil
 	}
 }
 
-// kernelBroadcastColumn is generations 1 and 5: every cell reads
-// D<col>[0] (p = col·n). Generation 1 stores it everywhere; generation 5
-// keeps the bottom row's state (the read still happens and is counted,
-// Table 1 "see gen. 1").
-func kernelBroadcastColumn(n int, keepBottom bool) gca.Kernel {
+// kernelBroadcast is generations 1 and 5: every cell reads D<col>[0]
+// (p = col·n). Generation 1 stores it everywhere, bottom row included;
+// generation 5 keeps the bottom row's state while still performing and
+// counting the read (Table 1 "see gen. 1").
+func kernelBroadcast(n int, keepBottom bool) gca.Kernel {
 	nn := n * n
 	return func(lo, hi int, cur, next, _ []gca.Value) (int, int, error) {
-		active := 0
-		stop := hi
-		if keepBottom {
-			stop = min(hi, nn)
+		if keepBottom && lo >= nn {
+			copy(next[lo:hi], cur[lo:hi]) // reads performed and discarded
+			return 0, hi - lo, nil
 		}
-		col := lo % n
-		cn := col * n // col(i)·n, maintained incrementally
-		rowEnd := lo + n - col
-		for i := lo; i < stop; i++ {
-			if i == rowEnd {
-				cn = 0
-				rowEnd += n
-			}
+		active := 0
+		cn := (lo % n) * n // col(i)·n, maintained incrementally
+		for i := lo; i < hi; i++ {
 			v := cur[cn]
-			next[i] = v
 			if v != cur[i] {
 				active++
 			}
+			next[i] = v
 			cn += n
-		}
-		if keepBottom {
-			// Bottom row: read performed and discarded, state kept.
-			if b := max(lo, nn); b < hi {
-				copy(next[b:hi], cur[b:hi])
-			}
 		}
 		return active, hi - lo, nil
 	}
 }
 
 // kernelMaskAdj is generation 2: square cells read C(row) from D_N[row]
-// and keep C(col) only where A = 1 and the components differ; the bottom
-// row keeps its state without a read.
+// and keep C(col) only where A = 1 and the components differ. The plan
+// excludes the bottom row, and the run's single C(row) operand is loaded
+// once.
 func kernelMaskAdj(n int) gca.Kernel {
 	nn := n * n
 	return func(lo, hi int, cur, next, a []gca.Value) (int, int, error) {
-		active, reads := 0, 0
-		sq := min(hi, nn)
-		row := lo / n
-		for i := lo; i < sq; {
-			end := min((row+1)*n, sq)
-			cRow := cur[nn+row]
-			reads += end - i
-			for ; i < end; i++ {
-				d := cur[i]
-				v := gca.Inf
-				if a[i] == 1 && d != cRow {
-					v = d
-				}
-				next[i] = v
-				if v != d {
-					active++
-				}
+		cRow := cur[nn+lo/n]
+		active := 0
+		for i := lo; i < hi; i++ {
+			d := cur[i]
+			v := gca.Inf
+			if a[i] == 1 && d != cRow {
+				v = d
 			}
-			row++
+			if v != d {
+				active++
+			}
+			next[i] = v
 		}
-		if b := max(lo, nn); b < hi {
-			copy(next[b:hi], cur[b:hi])
-		}
-		return active, reads, nil
+		return active, hi - lo, nil
 	}
 }
 
 // kernelReduce is generations 3 and 7, one sub-generation of the row-wise
-// tree min-reduction: cell (row, col) reads cell (row, col+step) when that
-// stays inside the row, otherwise it keeps its state without a read. The
-// bottom row is idle.
+// tree min-reduction: cell (row, col) reads cell (row, col+step). The
+// plan already stops the run at col = n−step, so the read never crosses
+// the row boundary and the loop is an unconditional strided min.
 func kernelReduce(n, step int) gca.Kernel {
-	nn := n * n
 	return func(lo, hi int, cur, next, _ []gca.Value) (int, int, error) {
-		active, reads := 0, 0
-		sq := min(hi, nn)
-		row := lo / n
-		for i := lo; i < sq; {
-			end := min((row+1)*n, sq)
-			// cut is the first index of the row whose read would cross
-			// the row boundary (col + step ≥ n).
-			cut := max(row*n+n-step, row*n)
-			for stop := min(end, cut); i < stop; i++ {
-				d := cur[i]
-				v := cur[i+step]
-				reads++
-				if v < d {
-					next[i] = v
-					active++
-				} else {
-					next[i] = d
-				}
+		active := 0
+		for i := lo; i < hi; i++ {
+			d := cur[i]
+			v := cur[i+step]
+			if v < d {
+				next[i] = v
+				active++
+			} else {
+				next[i] = d
 			}
-			if i < end {
-				copy(next[i:end], cur[i:end])
-				i = end
-			}
-			row++
 		}
-		if b := max(lo, nn); b < hi {
-			copy(next[b:hi], cur[b:hi])
-		}
-		return active, reads, nil
+		return active, hi - lo, nil
 	}
 }
 
-// kernelDefaultT is generations 4 and 8: only the first column acts —
-// cells whose min came up ∞ take C(row) from D_N[row]; every column-0
-// square cell performs the read. All other cells keep their state.
+// kernelDefaultT is generations 4 and 8: a column-0 square cell whose min
+// came up ∞ takes C(row) from D_N[row]; the read happens either way. The
+// plan makes each run exactly one column-0 cell.
 func kernelDefaultT(n int) gca.Kernel {
 	nn := n * n
-	return func(lo, hi int, cur, next, _ []gca.Value) (int, int, error) {
-		active, reads := 0, 0
-		copy(next[lo:hi], cur[lo:hi])
-		first := (lo + n - 1) / n * n // first column-0 index ≥ lo
-		row := first / n
-		for i := first; i < hi && i < nn; i += n {
-			reads++
-			if d := cur[i]; d == gca.Inf {
-				v := cur[nn+row]
-				next[i] = v
-				if v != d {
-					active++
-				}
-			}
-			row++
+	return func(lo, _ int, cur, next, _ []gca.Value) (int, int, error) {
+		d := cur[lo]
+		v := d
+		if d == gca.Inf {
+			v = cur[nn+lo/n]
 		}
-		return active, reads, nil
+		next[lo] = v
+		if v != d {
+			return 1, 1, nil
+		}
+		return 0, 1, nil
 	}
 }
 
 // kernelMaskComp is generation 6: square cells read C(col) from D_N[col]
-// and keep T(col) exactly when C(col) = row and T(col) ≠ row; the bottom
-// row keeps its state without a read.
+// and keep T(col) exactly when C(col) = row and T(col) ≠ row. The plan
+// excludes the bottom row.
 func kernelMaskComp(n int) gca.Kernel {
 	nn := n * n
 	return func(lo, hi int, cur, next, _ []gca.Value) (int, int, error) {
-		active, reads := 0, 0
-		sq := min(hi, nn)
 		row := lo / n
-		for i := lo; i < sq; {
-			end := min((row+1)*n, sq)
-			rv := gca.Value(row)
-			col := i - row*n
-			reads += end - i
-			for ; i < end; i++ {
-				d := cur[i]
-				v := gca.Inf
-				if cur[nn+col] == rv && d != rv {
-					v = d
-				}
-				next[i] = v
-				if v != d {
-					active++
-				}
-				col++
+		rv := gca.Value(row)
+		col := lo - row*n
+		active := 0
+		for i := lo; i < hi; i++ {
+			d := cur[i]
+			v := gca.Inf
+			if cur[nn+col] == rv && d != rv {
+				v = d
 			}
-			row++
+			if v != d {
+				active++
+			}
+			next[i] = v
+			col++
 		}
-		if b := max(lo, nn); b < hi {
-			copy(next[b:hi], cur[b:hi])
-		}
-		return active, reads, nil
+		return active, hi - lo, nil
 	}
 }
 
 // kernelSpread is generation 9: square cells outside column 0 read T(row)
-// from D<row>[0] and take it; column 0 and the bottom row keep their
-// state without a read.
+// from D<row>[0] and take it. The plan excludes column 0 and the bottom
+// row, so the run's single T(row) operand is hoisted and the store loop
+// is a fill.
 func kernelSpread(n int) gca.Kernel {
-	nn := n * n
 	return func(lo, hi int, cur, next, _ []gca.Value) (int, int, error) {
-		active, reads := 0, 0
-		sq := min(hi, nn)
-		row := lo / n
-		for i := lo; i < sq; {
-			end := min((row+1)*n, sq)
-			t := cur[row*n]
-			if i == row*n {
-				next[i] = cur[i] // column 0 keeps, no read
-				i++
+		t := cur[lo/n*n]
+		active := 0
+		for i := lo; i < hi; i++ {
+			if t != cur[i] {
+				active++
 			}
-			reads += end - i
-			for ; i < end; i++ {
-				next[i] = t
-				if t != cur[i] {
-					active++
-				}
-			}
-			row++
+			next[i] = t
 		}
-		if b := max(lo, nn); b < hi {
-			copy(next[b:hi], cur[b:hi])
-		}
-		return active, reads, nil
+		return active, hi - lo, nil
 	}
 }
 
 // kernelShortcut is generation 10, one sub-generation of pointer
-// shortcutting: column-0 square cells read D<C(row)>[0], i.e. C(C(row)).
-// Everything else keeps its state.
-func kernelShortcut(n int, ctx gca.Context) gca.Kernel {
-	nn := n * n
-	return func(lo, hi int, cur, next, _ []gca.Value) (int, int, error) {
-		active, reads := 0, 0
-		copy(next[lo:hi], cur[lo:hi])
-		first := (lo + n - 1) / n * n
-		for i := first; i < hi && i < nn; i += n {
-			d := cur[i]
-			if d < 0 || d >= gca.Value(n) {
-				return active, reads, kernelRangeErr(ctx, i, n)
-			}
-			v := cur[int(d)*n]
-			reads++
-			if v != d {
-				next[i] = v
-				active++
-			}
+// shortcutting: a column-0 square cell reads D<C(row)>[0], i.e.
+// C(C(row)). Each run is one cell under the plan.
+func kernelShortcut(n, sub int) gca.Kernel {
+	return func(lo, _ int, cur, next, _ []gca.Value) (int, int, error) {
+		d := cur[lo]
+		if d < 0 || d >= gca.Value(n) {
+			return 0, 0, kernelRangeErr(GenShortcut, sub, lo, n)
 		}
-		return active, reads, nil
+		v := cur[int(d)*n]
+		next[lo] = v
+		if v != d {
+			return 1, 1, nil
+		}
+		return 0, 1, nil
 	}
 }
 
-// kernelFinalMin is generation 11: column-0 square cells read
-// D<C(row)>[1], which still holds T(C(row)) from generation 9, and take
-// the minimum. Everything else keeps its state.
-func kernelFinalMin(n int, ctx gca.Context) gca.Kernel {
-	nn := n * n
-	return func(lo, hi int, cur, next, _ []gca.Value) (int, int, error) {
-		active, reads := 0, 0
-		copy(next[lo:hi], cur[lo:hi])
-		first := (lo + n - 1) / n * n
-		for i := first; i < hi && i < nn; i += n {
-			d := cur[i]
-			if d < 0 || d >= gca.Value(n) {
-				return active, reads, kernelRangeErr(ctx, i, n)
-			}
-			v := cur[int(d)*n+1]
-			reads++
-			if v < d {
-				next[i] = v
-				active++
-			}
+// kernelFinalMin is generation 11: a column-0 square cell reads
+// D<C(row)>[1], which still holds T(C(row)) from generation 9, and takes
+// the minimum. Each run is one cell under the plan.
+func kernelFinalMin(n int) gca.Kernel {
+	return func(lo, _ int, cur, next, _ []gca.Value) (int, int, error) {
+		d := cur[lo]
+		if d < 0 || d >= gca.Value(n) {
+			return 0, 0, kernelRangeErr(GenFinalMin, 0, lo, n)
 		}
-		return active, reads, nil
+		v := min(d, cur[int(d)*n+1])
+		next[lo] = v
+		if v != d {
+			return 1, 1, nil
+		}
+		return 0, 1, nil
 	}
 }
 
 // kernelRangeErr mirrors the generic path's out-of-range pointer error:
 // rule.Pointer maps an invalid C value to lay.Size(), which the machine
 // reports with exactly this message.
-func kernelRangeErr(ctx gca.Context, cell, n int) error {
+func kernelRangeErr(gen, sub, cell, n int) error {
 	size := n * (n + 1)
 	return fmt.Errorf("gca: generation %d sub %d: cell %d computed out-of-range pointer %d (field size %d)",
-		ctx.Generation, ctx.Sub, cell, size, size)
+		gen, sub, cell, size, size)
 }

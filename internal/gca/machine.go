@@ -21,47 +21,57 @@ type ObserverFunc func(f *Field, s *StepStats)
 func (fn ObserverFunc) OnStep(f *Field, s *StepStats) { fn(f, s) }
 
 // Machine executes a Rule over a Field in synchronous generations,
-// optionally sharded over a persistent pool of worker goroutines. The
-// result of a step is a pure function of the previous field state, so it
-// is bit-identical for every worker count.
+// optionally sharded over the process-global pool of worker goroutines
+// (see pool.go). The result of a step is a pure function of the previous
+// field state, so it is bit-identical for every worker count and for
+// every scheduling mode.
 //
-// A machine that steps with more than one worker owns pool goroutines;
-// call Close when done with it. Close is idempotent, and a machine that
-// never entered the parallel path owns no goroutines.
+// When the rule is a KernelPlanner, each step first asks it for the
+// generation's active region and picks one of two scheduling modes:
+//
+//   - sweep: the whole field is sharded as usual, but each shard invokes
+//     the bulk kernel only on its plan-active runs and bulk-copies the
+//     passive gaps (a straight memmove per gap) into the next buffer,
+//     then the buffers swap. Chosen for dense plans.
+//   - span: only the plan's segments are computed — serially, since the
+//     work is a sliver of the field — and committed in place; no shard
+//     dispatch, no barrier, no full-field traffic. Chosen when the plan
+//     covers at most 1/8 of the field, which turns the paper's
+//     column-0-only generations from O(n²) steps into O(n) steps.
+//
+// Machines no longer own goroutines; Close only marks the machine
+// unusable (Step after Close errors) and remains idempotent.
 type Machine struct {
 	field   *Field
 	rule    Rule
-	rule2   Rule2      // non-nil when rule is two-handed
-	kernels KernelRule // non-nil when rule provides bulk kernels
+	rule2   Rule2         // non-nil when rule is two-handed
+	kernels KernelRule    // non-nil when rule provides bulk kernels
+	planner KernelPlanner // non-nil when rule also declares active regions
 	workers int
 
 	collectCongestion bool
 	capturePointers   bool
+	fullSweep         bool // disable span mode (differential testing)
 	observer          Observer
 	hooks             StepHooks
 
 	tick int64
 
-	// Shard plan, fixed at construction: worker w evaluates cells
-	// [lo[w], hi[w]). active is the number of non-empty shards; fields
-	// too small to be worth sharding get a single shard regardless of
-	// the requested worker count.
+	// Shard plan, fixed at construction: shard w covers cells
+	// [lo[w], hi[w]). active is the number of shards; fields too small to
+	// be worth sharding get a single shard regardless of the requested
+	// worker count.
 	lo, hi []int
 	active int
 
-	// Persistent worker pool, started lazily on the first parallel step.
-	// Step publishes the job state below, releases workers 1..active-1
-	// through their start channels, evaluates shard 0 itself, and joins
-	// on wg — a two-phase barrier per step. Close closes the channels.
-	poolStarted bool
-	closed      bool
-	start       []chan struct{}
-	wg          sync.WaitGroup
+	closed bool
+	wg     sync.WaitGroup
 
-	// Per-step job state, written by Step before the workers are
-	// released (the channel send orders the accesses).
+	// Per-step job state, published by Step before shards are dispatched
+	// to the global pool (the channel send orders the accesses).
 	jobCtx    Context
 	jobKernel Kernel
+	jobPlan   Plan
 
 	// Scratch buffers, reused across steps.
 	stats       StepStats
@@ -72,8 +82,8 @@ type Machine struct {
 // Option configures a Machine.
 type Option func(*Machine)
 
-// WithWorkers sets the number of goroutines used per step. Values < 1
-// select runtime.GOMAXPROCS(0).
+// WithWorkers sets the number of shards evaluated concurrently per step.
+// Values < 1 select runtime.GOMAXPROCS(0).
 func WithWorkers(n int) Option {
 	return func(m *Machine) { m.workers = n }
 }
@@ -110,10 +120,11 @@ type StepHooks struct {
 	// the previous generation and the tick does not advance, so the
 	// machine state stays consistent for the caller's error handling.
 	BeforeStep func(ctx Context) error
-	// WorkerStall runs in each shard-evaluating goroutine before it
-	// scans its range; it may block. Stalls delay the step barrier but
-	// never change results — each generation remains a pure function of
-	// the previous field regardless of shard timing.
+	// WorkerStall runs before a shard's range is scanned (in whichever
+	// goroutine evaluates it) and once, for shard 0, before a span-mode
+	// commit; it may block. Stalls delay the step barrier but never
+	// change results — each generation remains a pure function of the
+	// previous field regardless of shard timing.
 	WorkerStall func(ctx Context, worker int)
 }
 
@@ -136,6 +147,9 @@ func NewMachine(field *Field, rule Rule, opts ...Option) *Machine {
 	}
 	if kr, ok := rule.(KernelRule); ok {
 		m.kernels = kr
+	}
+	if kp, ok := rule.(KernelPlanner); ok {
+		m.planner = kp
 	}
 	for _, o := range opts {
 		o(m)
@@ -174,7 +188,7 @@ func NewMachine(field *Field, rule Rule, opts ...Option) *Machine {
 	return m
 }
 
-// planShards fixes the per-worker cell ranges. The field size never
+// planShards fixes the per-shard cell ranges. The field size never
 // changes, so the plan is computed once; fields below the sharding
 // threshold collapse to a single shard evaluated by the caller.
 func (m *Machine) planShards() {
@@ -185,6 +199,9 @@ func (m *Machine) planShards() {
 		return
 	}
 	chunk := (n + m.workers - 1) / m.workers
+	shards := (n + chunk - 1) / chunk
+	m.lo = make([]int, 0, shards)
+	m.hi = make([]int, 0, shards)
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
@@ -194,39 +211,13 @@ func (m *Machine) planShards() {
 		m.hi = append(m.hi, hi)
 	}
 	m.active = len(m.lo)
-	m.start = make([]chan struct{}, m.active)
-	for w := 1; w < m.active; w++ {
-		m.start[w] = make(chan struct{}, 1)
-	}
 }
 
-// startPool launches the persistent worker goroutines. Each worker owns
-// one fixed shard and parks on its start channel between steps.
-func (m *Machine) startPool() {
-	m.poolStarted = true
-	for w := 1; w < m.active; w++ {
-		go func(w int) {
-			for range m.start[w] {
-				m.results[w] = m.runRange(m.jobCtx, m.lo[w], m.hi[w], w)
-				m.wg.Done()
-			}
-		}(w)
-	}
-}
-
-// Close releases the machine's worker goroutines. It is idempotent and
-// safe on machines that never stepped. Step must not be called after
-// Close.
+// Close marks the machine unusable: Step returns an error afterwards. It
+// is idempotent. Machines own no goroutines — shard work runs on the
+// process-global pool — so Close releases nothing.
 func (m *Machine) Close() {
-	if m.closed {
-		return
-	}
 	m.closed = true
-	if m.poolStarted {
-		for w := 1; w < m.active; w++ {
-			close(m.start[w])
-		}
-	}
 }
 
 // Field returns the machine's field.
@@ -266,35 +257,32 @@ func (m *Machine) Step(ctx Context) (*StepStats, error) {
 	// visibility. The choice depends only on ctx, so every shard of the
 	// step takes the same path and the result stays bit-identical to the
 	// generic one.
+	size := m.field.Len()
 	m.jobKernel = nil
+	m.jobPlan = fullPlan(size)
 	if m.kernels != nil && !m.collectCongestion && !m.capturePointers {
 		m.jobKernel = m.kernels.KernelFor(ctx)
+		if m.jobKernel != nil && m.planner != nil {
+			p := m.planner.PlanFor(ctx)
+			if err := p.validate(size); err != nil {
+				return nil, err
+			}
+			if !p.Full(size) {
+				m.jobPlan = p
+			}
+		}
 	}
 
-	if m.active == 1 {
-		m.results[0] = m.runRange(ctx, m.lo[0], m.hi[0], 0)
-	} else {
-		m.jobCtx = ctx
-		if !m.poolStarted {
-			m.startPool()
+	// Span mode: the plan covers so little of the field that computing
+	// its segments serially and committing them in place beats touching
+	// all size cells (kernel sweep + gap copies + swap would). The
+	// observable result — field contents, Active, TotalReads — is
+	// bit-identical to a full sweep; only the schedule differs.
+	if m.jobKernel != nil && !m.fullSweep && !m.jobPlan.Full(size) && m.jobPlan.Cells()*8 <= size {
+		if err := m.runSpan(ctx); err != nil {
+			return nil, err
 		}
-		m.wg.Add(m.active - 1)
-		for w := 1; w < m.active; w++ {
-			m.start[w] <- struct{}{}
-		}
-		m.results[0] = m.runRange(ctx, m.lo[0], m.hi[0], 0)
-		m.wg.Wait()
-	}
-
-	var err error
-	for _, r := range m.results {
-		m.stats.Active += r.active
-		m.stats.TotalReads += r.reads
-		if r.err != nil && err == nil {
-			err = r.err
-		}
-	}
-	if err != nil {
+	} else if err := m.runSweep(ctx); err != nil {
 		return nil, err
 	}
 
@@ -316,7 +304,6 @@ func (m *Machine) Step(ctx Context) (*StepStats, error) {
 		m.stats.MaxCongestion = int(maxC)
 	}
 
-	m.field.swap()
 	m.tick++
 	if m.observer != nil {
 		m.observer.OnStep(m.field, &m.stats)
@@ -324,7 +311,81 @@ func (m *Machine) Step(ctx Context) (*StepStats, error) {
 	return &m.stats, nil
 }
 
-// minChunk is the smallest per-worker range worth sharding.
+// runSpan evaluates only the plan's segments, serially, and commits them
+// in place: the kernel writes next[segment] for every segment, and only
+// then are the segments copied over cur (compute strictly before commit,
+// since a kernel may read any cur cell — e.g. the shortcut generation
+// reading other column-0 cells). Idle cells are never touched and the
+// buffers do not swap: cur simply stays current outside the plan.
+func (m *Machine) runSpan(ctx Context) error {
+	if m.hooks.WorkerStall != nil {
+		m.hooks.WorkerStall(ctx, 0)
+	}
+	cur, next, aux := m.field.cur, m.field.next, m.field.a
+	k := m.jobKernel
+	p := m.jobPlan
+	if p.SegLen == 0 || p.Count == 0 {
+		return nil // empty region: the generation provably changes nothing
+	}
+	for s := 0; s < p.Count; s++ {
+		segLo := p.Lo + s*p.Stride
+		active, reads, err := k(segLo, segLo+p.SegLen, cur, next, aux)
+		if err != nil {
+			return err
+		}
+		m.stats.Active += active
+		m.stats.TotalReads += reads
+	}
+	for s := 0; s < p.Count; s++ {
+		segLo := p.Lo + s*p.Stride
+		m.field.commitRange(segLo, segLo+p.SegLen)
+	}
+	return nil
+}
+
+// runSweep evaluates the full field across the shard plan — dispatching
+// shards 1..active-1 to the global pool and evaluating shard 0 (plus any
+// shard the pool cannot take immediately) on the calling goroutine — and
+// commits by buffer swap. Within each shard the kernel runs only on
+// plan-active runs; passive gaps are bulk-copied forward.
+func (m *Machine) runSweep(ctx Context) error {
+	if m.active == 1 {
+		m.results[0] = m.runShard(ctx, 0)
+	} else {
+		m.jobCtx = ctx
+		ensurePool()
+		for w := 1; w < m.active; w++ {
+			m.wg.Add(1)
+			select {
+			case poolCh <- poolJob{m: m, shard: w}:
+			default:
+				// Pool saturated (or stalled by another machine's fault
+				// hooks): evaluate the shard here so the step always
+				// makes progress.
+				m.results[w] = m.runShard(ctx, w)
+				m.wg.Done()
+			}
+		}
+		m.results[0] = m.runShard(ctx, 0)
+		m.wg.Wait()
+	}
+
+	var err error
+	for _, r := range m.results {
+		m.stats.Active += r.active
+		m.stats.TotalReads += r.reads
+		if r.err != nil && err == nil {
+			err = r.err
+		}
+	}
+	if err != nil {
+		return err
+	}
+	m.field.swap()
+	return nil
+}
+
+// minChunk is the smallest per-shard range worth sharding.
 const minChunk = 256
 
 type rangeResult struct {
@@ -333,26 +394,41 @@ type rangeResult struct {
 	err    error
 }
 
-// runRange evaluates cells [lo, hi) of the next generation, through the
-// step's bulk kernel when one is set and the generic per-cell
+// runShard evaluates shard w of the next generation: through the step's
+// bulk kernel over the plan's active runs when a kernel is set (passive
+// gaps are copied forward unchanged), and through the generic per-cell
 // Pointer/Update path otherwise.
-func (m *Machine) runRange(ctx Context, lo, hi, worker int) rangeResult {
+func (m *Machine) runShard(ctx Context, w int) rangeResult {
 	if m.hooks.WorkerStall != nil {
-		m.hooks.WorkerStall(ctx, worker)
+		m.hooks.WorkerStall(ctx, w)
 	}
+	lo, hi := m.lo[w], m.hi[w]
 	cur := m.field.cur
 	next := m.field.next
 	aux := m.field.a
 	if k := m.jobKernel; k != nil {
-		active, reads, err := k(lo, hi, cur, next, aux)
-		return rangeResult{active: active, reads: reads, err: err}
+		var res rangeResult
+		m.jobPlan.forEachRun(lo, hi,
+			func(runLo, runHi int) {
+				if res.err != nil {
+					return
+				}
+				active, reads, err := k(runLo, runHi, cur, next, aux)
+				res.active += active
+				res.reads += reads
+				res.err = err
+			},
+			func(gapLo, gapHi int) {
+				copy(next[gapLo:gapHi], cur[gapLo:gapHi])
+			})
+		return res
 	}
 
 	var res rangeResult
 	n := len(cur)
 	var reads []int32
 	if m.collectCongestion {
-		reads = m.workerReads[worker]
+		reads = m.workerReads[w]
 	}
 	for i := lo; i < hi; i++ {
 		self := Cell{D: cur[i], A: aux[i]}

@@ -1,0 +1,153 @@
+package gca
+
+import "fmt"
+
+// Plan declares the active region of one generation: the set of cells the
+// rule can possibly write this step. Cells outside the plan provably keep
+// their data field and perform no global reads, so the machine never has
+// to evaluate them — it either bulk-copies them into the next buffer (the
+// sweep path) or skips them entirely and commits only the active cells
+// (the span path). The paper's Table 1 makes exactly this account: in
+// most of the twelve Figure-2 generations the overwhelming majority of
+// the (n+1)×n cells are idle.
+//
+// A plan is a segmented region: Count segments of SegLen cells each,
+// their starting cells Stride apart, the first at Lo. Over the paper's
+// row-major (n+1)×n layout every Figure-2 active region is a rectangle of
+// rows and columns, which this shape expresses exactly — e.g. "column 0
+// of the square field" is {Lo: 0, SegLen: 1, Stride: n, Count: n} and
+// "the first n−2ˢ columns of every square row" is
+// {Lo: 0, SegLen: n−2ˢ, Stride: n, Count: n}.
+//
+// The zero Plan means "the whole field": every cell is active.
+type Plan struct {
+	Lo     int // first cell of the first segment
+	SegLen int // cells per segment
+	Stride int // distance between segment starts; SegLen ≤ Stride
+	Count  int // number of segments
+}
+
+// Full reports whether the plan declares the whole field active — either
+// the zero Plan or an explicit single segment covering [0, size).
+func (p Plan) Full(size int) bool {
+	if p == (Plan{}) {
+		return true
+	}
+	return p.Lo == 0 && p.Count == 1 && p.SegLen == size
+}
+
+// Cells returns the number of active cells the plan declares.
+func (p Plan) Cells() int { return p.SegLen * p.Count }
+
+// validate checks the plan against a field of the given size: segments
+// must be non-overlapping, in ascending order, and inside [0, size). The
+// zero Plan is always valid.
+func (p Plan) validate(size int) error {
+	if p == (Plan{}) {
+		return nil
+	}
+	switch {
+	case p.SegLen < 0 || p.Count < 0 || p.Lo < 0:
+		return fmt.Errorf("gca: negative plan component %+v", p)
+	case p.SegLen == 0 || p.Count == 0:
+		return nil // empty region: nothing active
+	case p.Count > 1 && p.Stride < p.SegLen:
+		return fmt.Errorf("gca: plan segments overlap: stride %d < segment length %d", p.Stride, p.SegLen)
+	}
+	last := p.Lo + (p.Count-1)*p.Stride + p.SegLen
+	if last > size {
+		return fmt.Errorf("gca: plan %+v exceeds field size %d", p, size)
+	}
+	return nil
+}
+
+// fullPlan returns the explicit whole-field plan for a field of the given
+// size.
+func fullPlan(size int) Plan {
+	return Plan{Lo: 0, SegLen: size, Stride: size, Count: 1}
+}
+
+// forEachRun decomposes the window [lo, hi) into maximal runs of
+// plan-active cells and the passive gaps between them, in ascending
+// order. Each active run lies within a single plan segment — the
+// guarantee bulk kernels rely on to hoist per-segment operands out of
+// their inner loops. It performs no allocation.
+func (p Plan) forEachRun(lo, hi int, active func(runLo, runHi int), gap func(gapLo, gapHi int)) {
+	if lo >= hi {
+		return
+	}
+	if p.SegLen == 0 || p.Count == 0 {
+		gap(lo, hi)
+		return
+	}
+	pos := lo
+	// First segment whose end can exceed lo.
+	k := 0
+	if p.Stride > 0 && lo > p.Lo {
+		k = (lo - p.Lo) / p.Stride
+	}
+	for ; k < p.Count; k++ {
+		segLo := p.Lo + k*p.Stride
+		segHi := segLo + p.SegLen
+		if segHi <= pos {
+			continue
+		}
+		if segLo >= hi {
+			break
+		}
+		if segLo > pos {
+			gap(pos, min(segLo, hi))
+			pos = segLo
+			if pos >= hi {
+				return
+			}
+		}
+		runHi := min(segHi, hi)
+		active(pos, runHi)
+		pos = runHi
+		if pos >= hi {
+			return
+		}
+	}
+	if pos < hi {
+		gap(pos, hi)
+	}
+}
+
+// KernelPlanner is the optional scheduling contract of a KernelRule: a
+// rule that can also declare, per generation, the active region its
+// kernels write. The machine uses the plan two ways on the fast path:
+//
+//   - sweep mode (dense plans): worker shards cover the whole field as
+//     usual, but the kernel is invoked only on the active runs of each
+//     shard while the passive gaps are bulk-copied row-at-a-time with
+//     copy — no per-cell rule evaluation for idle cells.
+//   - span mode (sparse plans, at most 1/8 of the field): only the active
+//     cells are computed and then committed in place; idle cells are not
+//     touched at all, so a generation that writes n cells of an n·(n+1)
+//     field costs O(n), not O(n²).
+//
+// Either way the committed field, the active-cell count and the read
+// count are bit-for-bit those of the full generic sweep — the plan is a
+// scheduling fact, never a semantic one. PlanFor must depend only on ctx,
+// and the region it returns must cover every cell the generation can
+// write and every cell that performs a global read (cells outside do
+// neither). Cross-checks live in two places: the lockstep batteries pin
+// plan-on/plan-off/generic equality per step, and the congestion
+// cross-check pins every plan at or below congestion.ActiveBound.
+type KernelPlanner interface {
+	KernelRule
+	// PlanFor returns the active region for ctx. The zero Plan means the
+	// whole field. Like KernelFor, the choice must depend only on ctx.
+	PlanFor(ctx Context) Plan
+}
+
+// WithFullSweep disables span-mode scheduling: every step shards the
+// whole field and commits by buffer swap, even when the rule declares a
+// sparse active region (the plan still routes kernel invocations, so
+// kernels see the same single-segment runs). The differential batteries
+// use it to pin span mode observationally identical to the full sweep;
+// production machines never need it.
+func WithFullSweep() Option {
+	return func(m *Machine) { m.fullSweep = true }
+}

@@ -1,0 +1,65 @@
+package gca
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The stepping pool is process-global: a fixed set of goroutines sized to
+// the machine's parallelism, shared by every Machine in the process. The
+// previous design gave each Machine its own goroutines and per-worker
+// start channels, which made machine construction cost — allocations and
+// goroutine count — grow linearly with the requested worker count (the
+// workers=8 alloc growth in the committed bench trajectory). A global
+// pool amortises all of that to one-time process state: building a
+// machine allocates the same three small slices no matter how many
+// workers it will use.
+//
+// Dispatch is deadlock-free by construction: Step submits shard jobs with
+// a non-blocking send and evaluates any shard the pool cannot take
+// inline, so a stepping goroutine always makes progress even if every
+// pool worker is blocked (e.g. by an injected WorkerStall fault in
+// another machine). The pool is never shut down; its goroutines park on
+// the empty channel, and Machine.Close remains a pure lifecycle flag.
+
+// poolJob is one shard of one machine's step. The channel send
+// happens-before the pool worker's read of the machine's published job
+// state (jobCtx, jobKernel, jobPlan), and wg.Done/wg.Wait orders the
+// result write back to the stepping goroutine.
+type poolJob struct {
+	m     *Machine
+	shard int
+}
+
+var (
+	poolOnce sync.Once
+	poolCh   chan poolJob
+)
+
+// ensurePool starts the global workers on first parallel use.
+func ensurePool() {
+	poolOnce.Do(func() {
+		size := runtime.GOMAXPROCS(0) - 1
+		if size < 2 {
+			size = 2
+		}
+		poolCh = make(chan poolJob, 4*size)
+		for i := 0; i < size; i++ {
+			go func() {
+				for j := range poolCh {
+					j.m.results[j.shard] = j.m.runShard(j.m.jobCtx, j.shard)
+					j.m.wg.Done()
+				}
+			}()
+		}
+	})
+}
+
+// WarmPool eagerly starts the global stepping pool. Steady-state code
+// never needs it — the pool starts itself on first parallel step — but
+// goroutine-leak tests that pin "goroutines after == goroutines before"
+// must start the pool before taking their baseline, since its workers are
+// process-lifetime by design.
+func WarmPool() {
+	ensurePool()
+}

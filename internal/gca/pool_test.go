@@ -103,8 +103,11 @@ func TestPoolCloseLifecycle(t *testing.T) {
 
 // TestPoolChurn creates, steps and closes many pooled machines in
 // sequence; under -race this shakes out any handshake between Step's
-// barrier and Close, and under normal runs it bounds goroutine leaks.
+// barrier and Close, and under normal runs it bounds goroutine growth:
+// machines own no goroutines, so after the global pool is warm the count
+// must stay flat no matter how many machines come and go.
 func TestPoolChurn(t *testing.T) {
+	WarmPool() // the global pool is process-lifetime; start it before the baseline
 	before := runtime.NumGoroutine()
 	for r := 0; r < 40; r++ {
 		f := NewField(2 * minChunk)
@@ -116,7 +119,8 @@ func TestPoolChurn(t *testing.T) {
 		}
 		m.Close()
 	}
-	// Give the closed workers a moment to exit, then require no pile-up.
+	// Give any in-flight pool hand-offs a moment to settle, then require
+	// no pile-up.
 	for i := 0; i < 100 && runtime.NumGoroutine() > before+2; i++ {
 		runtime.Gosched()
 	}

@@ -23,17 +23,21 @@ var BufferDiscipline = &Analyzer{
 	Name: "bufferdiscipline",
 	Doc: "cell rules must read generation g−1 and write generation g only: no writes " +
 		"through Field.cur, no element reads of Field.next, no Field access from Rule methods, " +
-		"and bulk kernels must read cur, write next, and never alias either buffer",
+		"and bulk kernels must read cur, write next only within their assigned [lo, hi) range, " +
+		"and never alias either buffer",
 	Run: runBufferDiscipline,
 }
 
 // curWriteAllowed are the gca functions allowed to mutate the current
-// buffer: construction, generation-0 initialisation, and the commit.
+// buffer: construction, generation-0 initialisation, and the two commit
+// points — swap (sweep mode) and commitRange (span mode's in-place
+// segment commit).
 var curWriteAllowed = map[string]bool{
-	"NewField": true,
-	"SetCell":  true,
-	"SetData":  true,
-	"swap":     true,
+	"NewField":    true,
+	"SetCell":     true,
+	"SetData":     true,
+	"swap":        true,
+	"commitRange": true,
 }
 
 var ruleMethodNames = map[string]bool{
@@ -134,13 +138,30 @@ func checkFieldBuffers(pass *Pass) {
 						name, exprString(n.X))
 				}
 			case *ast.CallExpr:
-				if isBuiltin(info, n, "len") || isBuiltin(info, n, "cap") {
+				if isScalarSafeBuiltin(info, n) {
 					return true
 				}
 				// Invoking a bulk kernel is the sanctioned hand-off of
 				// the raw buffers: the kernel body is itself audited by
 				// checkKernelDiscipline.
 				if isNamedType(info.TypeOf(n.Fun), "gca", "Kernel") {
+					return true
+				}
+				if isBuiltin(info, n, "copy") && len(n.Args) == 2 {
+					// copy(next, cur) is the sanctioned forward move;
+					// moving data into cur or out of next is a commit,
+					// which only the sanctioned committers (swap,
+					// commitRange) may perform.
+					if !curWriteAllowed[name] {
+						if bufferOf(info, aliases, n.Args[0], curVar, nextVar) == curVar {
+							pass.Reportf(n.Args[0].Pos(), "cur-write",
+								"%s copies into the current-state buffer; only the commit helpers (swap, commitRange) may move next into cur", name)
+						}
+						if bufferOf(info, aliases, n.Args[1], curVar, nextVar) == nextVar {
+							pass.Reportf(n.Args[1].Pos(), "next-read",
+								"%s copies out of the next-state buffer; generation g must read exclusively from generation g−1 (Field.cur)", name)
+						}
+					}
 					return true
 				}
 				for _, arg := range n.Args {
@@ -157,7 +178,9 @@ func checkFieldBuffers(pass *Pass) {
 }
 
 // bufferOf resolves expr to the cur or next buffer variable it denotes —
-// either a direct selector on a Field or a tracked local alias — or nil.
+// a direct selector on a Field, a tracked local alias, or a slice of
+// either (f.next[lo:hi] carries the buffer's discipline just as f.next
+// does) — or nil.
 func bufferOf(info *types.Info, aliases map[types.Object]*types.Var, expr ast.Expr, curVar, nextVar *types.Var) *types.Var {
 	switch e := ast.Unparen(expr).(type) {
 	case *ast.SelectorExpr:
@@ -171,6 +194,8 @@ func bufferOf(info *types.Info, aliases map[types.Object]*types.Var, expr ast.Ex
 		if obj := info.Uses[e]; obj != nil {
 			return aliases[obj]
 		}
+	case *ast.SliceExpr:
+		return bufferOf(info, aliases, e.X, curVar, nextVar)
 	}
 	return nil
 }
@@ -206,7 +231,12 @@ func fieldBufferVars(pkg *Package) (cur, next *types.Var) {
 //     source;
 //   - neither buffer may be aliased: not rebound to a variable, returned,
 //     or passed to another function (the copy/len/cap builtins excepted),
-//     because an escaped buffer outlives the step that owns it.
+//     because an escaped buffer outlives the step that owns it;
+//   - when the kernel carries int range parameters named lo/hi (the
+//     gca.Kernel contract's assigned run), every next write must be
+//     indexed through a value derived from that range — the machine only
+//     gap-copies cells outside the plan's runs, so an out-of-range write
+//     would silently race the copy (kernel-range-write).
 func checkKernelDiscipline(pass *Pass) {
 	info := pass.Pkg.Info
 	for _, f := range pass.Pkg.Files {
@@ -229,7 +259,7 @@ func checkKernelDiscipline(pass *Pass) {
 			if curObj == nil || nextObj == nil {
 				return true
 			}
-			checkKernelBody(pass, info, body, where, curObj, nextObj)
+			checkKernelBody(pass, info, body, where, curObj, nextObj, kernelRangeParams(info, ft))
 			return true
 		})
 	}
@@ -258,9 +288,96 @@ func kernelBufferParams(info *types.Info, ft *ast.FuncType) (cur, next types.Obj
 	return cur, next
 }
 
+// kernelRangeParams returns the int-typed parameter objects named lo or
+// hi — the kernel's assigned active run. Single-cell kernels blank the
+// upper bound (`lo, _ int`), so either name alone still seeds the
+// range-write check; a cur/next function with neither (a whole-plane
+// helper) is not range-checked.
+func kernelRangeParams(info *types.Info, ft *ast.FuncType) []types.Object {
+	var seeds []types.Object
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if name.Name != "lo" && name.Name != "hi" {
+				continue
+			}
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if b, ok := obj.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+				seeds = append(seeds, obj)
+			}
+		}
+	}
+	return seeds
+}
+
+// rangeRooted computes the transitive closure of values derived from the
+// kernel's [lo, hi) parameters: the parameters seed the set, and any
+// variable whose assignment references a rooted value joins it, to a
+// fixpoint — so incremental write cursors like
+//
+//	cn := (lo % n) * n
+//	...
+//	cn += n
+//
+// stay rooted across their whole lifetime.
+func rangeRooted(info *types.Info, body *ast.BlockStmt, seeds []types.Object) map[types.Object]bool {
+	rooted := map[types.Object]bool{}
+	for _, s := range seeds {
+		rooted[s] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if !refsAny(info, rhs, rooted) {
+					continue
+				}
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj != nil && !rooted[obj] {
+					rooted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return rooted
+}
+
+// refsAny reports whether expr mentions any object in set.
+func refsAny(info *types.Info, expr ast.Expr, set map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && set[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
 // checkKernelBody walks one kernel body enforcing the read-cur/write-next
-// discipline over the raw buffer parameters.
-func checkKernelBody(pass *Pass, info *types.Info, body *ast.BlockStmt, where string, curObj, nextObj types.Object) {
+// discipline over the raw buffer parameters, and — when rangeSeeds is
+// non-empty — the active-range discipline over every next write.
+func checkKernelBody(pass *Pass, info *types.Info, body *ast.BlockStmt, where string, curObj, nextObj types.Object, rangeSeeds []types.Object) {
 	// paramOf resolves an expression to the buffer parameter it is rooted
 	// in: the bare identifier, an index, or a slice of it.
 	paramOf := func(expr ast.Expr) types.Object {
@@ -308,6 +425,11 @@ func checkKernelBody(pass *Pass, info *types.Info, body *ast.BlockStmt, where st
 		return true
 	})
 
+	var rooted map[types.Object]bool
+	if len(rangeSeeds) > 0 {
+		rooted = rangeRooted(info, body, rangeSeeds)
+	}
+
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
@@ -316,6 +438,11 @@ func checkKernelBody(pass *Pass, info *types.Info, body *ast.BlockStmt, where st
 				base := lhs
 				if ix, ok := lhs.(*ast.IndexExpr); ok {
 					base = ix.X
+					if rooted != nil && paramOf(ix.X) == nextObj && !refsAny(info, ix.Index, rooted) {
+						pass.Reportf(lhs.Pos(), "kernel-range-write",
+							"%s writes %s at an index not derived from the kernel's [lo, hi) range; kernels must write only the runs the plan hands them",
+							where, exprString(lhs))
+					}
 				}
 				if paramOf(base) == curObj {
 					pass.Reportf(lhs.Pos(), "kernel-cur-write",
@@ -354,7 +481,7 @@ func checkKernelBody(pass *Pass, info *types.Info, body *ast.BlockStmt, where st
 				}
 			}
 		case *ast.CallExpr:
-			if isBuiltin(info, n, "len") || isBuiltin(info, n, "cap") {
+			if isScalarSafeBuiltin(info, n) {
 				return true
 			}
 			if isBuiltin(info, n, "copy") && len(n.Args) == 2 {
@@ -364,6 +491,16 @@ func checkKernelBody(pass *Pass, info *types.Info, body *ast.BlockStmt, where st
 				if paramOf(n.Args[0]) == curObj {
 					pass.Reportf(n.Args[0].Pos(), "kernel-cur-write",
 						"%s copies into the current-generation buffer; kernels must read cur and write only next", where)
+				} else if rooted != nil && paramOf(n.Args[0]) == nextObj {
+					// The destination must be an explicitly-bounded slice
+					// of next, both bounds derived from the range: a bare
+					// or half-open destination writes past the run.
+					se, isSlice := ast.Unparen(n.Args[0]).(*ast.SliceExpr)
+					if !isSlice || se.Low == nil || se.High == nil ||
+						!refsAny(info, se.Low, rooted) || !refsAny(info, se.High, rooted) {
+						pass.Reportf(n.Args[0].Pos(), "kernel-range-write",
+							"%s copies into next with bounds not derived from the kernel's [lo, hi) range; kernels must write only the runs the plan hands them", where)
+					}
 				}
 				if paramOf(n.Args[1]) == nextObj {
 					pass.Reportf(n.Args[1].Pos(), "kernel-next-read",
@@ -525,7 +662,7 @@ func checkLocalPlanes(pass *Pass) {
 					}
 				}
 			case *ast.CallExpr:
-				if isBuiltin(info, n, "len") || isBuiltin(info, n, "cap") {
+				if isScalarSafeBuiltin(info, n) {
 					return true
 				}
 				if isBuiltin(info, n, "copy") && len(n.Args) == 2 {

@@ -44,6 +44,16 @@ func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
 	return ok && b.Name() == name
 }
 
+// isScalarSafeBuiltin reports whether a call invokes a builtin that can
+// only observe scalar values or slice shape — len, cap, min, max — and
+// therefore can never alias or retain a buffer passed (or indexed) into
+// it. The buffer-discipline checks skip these calls: min(d, cur[i]) is
+// the idiomatic branch-free kernel reduction, not an escape.
+func isScalarSafeBuiltin(info *types.Info, call *ast.CallExpr) bool {
+	return isBuiltin(info, call, "len") || isBuiltin(info, call, "cap") ||
+		isBuiltin(info, call, "min") || isBuiltin(info, call, "max")
+}
+
 // isNamedType reports whether t (possibly behind a pointer) is the named
 // type pkgName.typeName, matching by package name so that the testdata
 // fixture packages — which mimic the real packages' names — are checked

@@ -65,6 +65,36 @@ func escapeKernel(lo, hi int, cur, next []Value) []Value {
 	return next // want "returns the next buffer"
 }
 
+// rangeKernel violates the active-range contract: with the plan-routed
+// machine only gap-copying cells outside [lo, hi), any next write whose
+// index is not derived from the range races the copy.
+func rangeKernel(lo, hi int, cur, next, a []Value) (int, int, error) {
+	cn := lo + 1 // derived cursors stay rooted
+	for i := lo; i < hi; i++ {
+		next[i] = cur[i]
+		next[cn] = a[i]
+		cn++
+	}
+	next[0] = cur[0]        // want "index not derived from the kernel"
+	copy(next[2:6], a[2:6]) // want "bounds not derived from the kernel"
+	copy(next, a)           // want "bounds not derived from the kernel"
+	copy(next[lo:], a)      // want "bounds not derived from the kernel"
+	return 0, 0, nil
+}
+
+// badCommit moves buffer contents against the grain outside the
+// sanctioned commit helpers (swap, commitRange).
+func (f *Field) badCommit(scratch []Cell) {
+	copy(f.cur, scratch)           // want "copies into the current-state buffer"
+	copy(scratch, f.next)          // want "copies out of the next-state buffer"
+	copy(f.cur[0:4], scratch[0:4]) // want "copies into the current-state buffer"
+	copy(scratch[1:], f.next[1:2]) // want "copies out of the next-state buffer"
+}
+
+// commitRange is the sanctioned span-mode commit: like swap, it may move
+// next into cur, and must not flag.
+func (f *Field) commitRange(lo, hi int) { copy(f.cur[lo:hi], f.next[lo:hi]) }
+
 func consumeValues([]Value) {}
 
 type badRule struct{ f *Field }

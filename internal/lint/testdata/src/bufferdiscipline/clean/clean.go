@@ -68,6 +68,38 @@ func goodKernel(lo, hi int, cur, next, a []Value) (int, int, error) {
 	return active, hi - lo, nil
 }
 
+// broadcastKernel mirrors the real column-broadcast kernels: a read
+// cursor derived from lo and stepped by the row stride is range-rooted,
+// and min/max are scalar-safe builtins even over buffer elements.
+func broadcastKernel(lo, hi int, cur, next, a []Value) (int, int, error) {
+	const n = 4
+	cn := (lo % n) * n
+	for i := lo; i < hi; i++ {
+		next[i] = min(cur[cn], a[i])
+		cn += n
+	}
+	return hi - lo, 2 * (hi - lo), nil
+}
+
+// singleCell mirrors the column-0 kernels, which blank the upper bound:
+// lo alone still roots the range discipline.
+func singleCell(lo, _ int, cur, next, a []Value) (int, int, error) {
+	v := max(cur[lo], a[lo])
+	next[lo] = v
+	if v != cur[lo] {
+		return 1, 1, nil
+	}
+	return 0, 1, nil
+}
+
+// wholePlane has no lo/hi range parameters, so the range-write check
+// does not apply — only the cur/next role discipline does.
+func wholePlane(cur, next []Value) {
+	for i := range cur {
+		next[i] = cur[i]
+	}
+}
+
 type goodRule struct{ n int }
 
 // Pointer and Update are pure over their arguments.

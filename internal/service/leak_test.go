@@ -10,16 +10,20 @@ import (
 	"time"
 
 	"gcacc"
+	"gcacc/internal/gca"
 	"gcacc/internal/graph"
 )
 
 // TestNoGoroutineLeakAfterCancellationStorm audits the cancellation
-// paths: every engine run owns gca.Machine worker goroutines (released
-// by the deferred Machine.Close in core.Run / ncell.Run), and every job
-// holds a context cancel func. A storm of aborted, expired and
+// paths: every job holds a context cancel func, the service owns worker
+// goroutines released by Close, and engine machines run their shards on
+// the process-global gca stepping pool. A storm of aborted, expired and
 // abandoned requests followed by Close must return the process to its
 // pre-service goroutine count — a leak on any error path shows up here.
+// The global stepping pool is process-lifetime by design, so it is
+// warmed before the baseline is taken.
 func TestNoGoroutineLeakAfterCancellationStorm(t *testing.T) {
+	gca.WarmPool()
 	before := runtime.NumGoroutine()
 
 	svc := New(Config{
