@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race lint lint-gcasm fmt-check check verify chaos-smoke stream-smoke fuzz-smoke bench bench-json bench-smoke serve
+.PHONY: all build vet test test-race lint lint-gcasm fmt-check check verify chaos-smoke stream-smoke cluster-smoke fuzz-smoke bench bench-json bench-smoke serve
 
 all: check
 
@@ -44,7 +44,7 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 
-check: build vet test test-race lint lint-gcasm chaos-smoke stream-smoke
+check: build vet test test-race lint lint-gcasm chaos-smoke stream-smoke cluster-smoke
 
 # Cross-engine conformance harness (differential + metamorphic + analytic
 # oracles over the deterministic corpus), then the sparse engines
@@ -72,6 +72,17 @@ stream-smoke:
 	$(GO) test -race -count=1 -run '^TestConformanceStream$$' .
 	$(GO) test -race -count=1 -run '^(TestRunStream.*|TestStreamSoak)$$' ./internal/verify
 	$(GO) test -count=1 -run '^FuzzMutationTrace$$' ./internal/stream
+
+# Sharded-serving conformance tier: the cluster conformance gate (every
+# request through every replica of 1/2/4-replica topologies, labels
+# bit-identical to the single-process path) and the cluster chaos soak
+# (peer faults, a replica stopped and revived mid-run, concurrent
+# clients), both under the race detector. Override GCACC_CLUSTER_REQUESTS
+# / GCACC_CLUSTER_N / GCACC_CLUSTER_SEED to scale the soak. See
+# TESTING.md "Cluster".
+cluster-smoke:
+	$(GO) test -race -count=1 -run '^TestConformanceCluster$$' .
+	$(GO) test -race -count=1 -run '^TestClusterChaosSoak$$' ./internal/verify
 
 # Mutate each fuzz target briefly on top of the checked-in seed corpora.
 FUZZTIME ?= 10s

@@ -12,10 +12,27 @@
 //
 // With -fault the given schedule (internal/fault spec grammar) is
 // forwarded per request via the `fault` query parameter, which the server
-// only accepts when started with -chaos. The report then splits latency
+// only accepts when started with -chaos. The report always splits latency
 // percentiles into clean vs degraded responses and adds the server's
 // resilience counters — the degraded-mode p50/p99 the chaos tier
-// documents.
+// documents. Against a sharded deployment the X-GCA-Shard-Owner header
+// additionally keys a per-shard p50/p99 breakdown.
+//
+// With -replicas R the tool instead builds an in-process cluster of R
+// replicas (the same topology the conformance tier verifies) and drives
+// it directly — no server process needed. -topology picks the routing
+// mode (proxy|federate), -batch N pushes items through the one-ticket
+// batch path N at a time, and the report adds per-shard latency plus
+// the peer-traffic, federation and cache-hit-ratio counters:
+//
+//	gca-loadgen -replicas 3 -n 3000 -nocache            # single-request baseline
+//	gca-loadgen -replicas 3 -n 3000 -nocache -batch 32  # batch path, p50 is per item
+//
+// -json FILE appends the measured p50/p99/throughput (and the per-shard
+// split) as a labelled trajectory point in gca-benchjson's format, so
+// serving-layer numbers accumulate beside the micro-benchmarks:
+//
+//	gca-loadgen -replicas 3 -n 3000 -json BENCH_20260808.json -label cluster-loadgen
 package main
 
 import (
@@ -29,12 +46,14 @@ import (
 	"net/url"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"gcacc"
+	"gcacc/internal/cluster"
 	"gcacc/internal/graph"
 	"gcacc/internal/service"
 )
@@ -53,14 +72,51 @@ func main() {
 		seed        = flag.Int64("seed", 1, "graph generator seed")
 		nocache     = flag.Bool("nocache", false, "ask the server to bypass its result cache")
 		faultSpec   = flag.String("fault", "", "per-request fault schedule forwarded to the server (needs gca-serve -chaos), e.g. seed=7,steperr=0.01")
+
+		replicas = flag.Int("replicas", 0, "drive an in-process cluster of this many replicas instead of -addr (0 = HTTP mode)")
+		topology = flag.String("topology", "proxy", "in-process cluster routing mode: proxy|federate")
+		batch    = flag.Int("batch", 0, "submit items in batches of this size through the batch path (0 = single requests; in-process mode only)")
+		jsonOut  = flag.String("json", "", "append the run's numbers to this trajectory file (gca-benchjson format)")
+		label    = flag.String("label", "loadgen", "trajectory point label for -json")
 	)
 	flag.Parse()
 
-	if _, err := gcacc.ParseEngine(*engine); err != nil {
+	eng, err := gcacc.ParseEngine(*engine)
+	if err != nil {
 		fatal(err)
 	}
 	if *concurrency < 1 || *distinct < 1 || *vertices < 1 {
 		fatal(fmt.Errorf("need -c, -distinct and -vertices >= 1"))
+	}
+
+	if *replicas > 0 {
+		points, err := runTopology(topoOptions{
+			replicas:    *replicas,
+			mode:        *topology,
+			batch:       *batch,
+			engine:      eng,
+			concurrency: *concurrency,
+			total:       *total,
+			duration:    *duration,
+			vertices:    *vertices,
+			prob:        *prob,
+			distinct:    *distinct,
+			seed:        *seed,
+			nocache:     *nocache,
+			faultSpec:   *faultSpec,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut != "" && len(points) > 0 {
+			if err := appendTrajectory(*jsonOut, *label, points); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	if *batch > 0 {
+		fatal(fmt.Errorf("-batch needs the in-process mode (-replicas)"))
 	}
 
 	// Pre-serialize the request bodies; generation cost must not pollute
@@ -103,8 +159,9 @@ func main() {
 	}
 
 	type workerStats struct {
-		latencies []time.Duration // clean 200s
-		degLat    []time.Duration // degraded 200s (fallback/demoted runs)
+		latencies []time.Duration         // clean 200s
+		degLat    []time.Duration         // degraded 200s (fallback/demoted runs)
+		byShard   map[int][]time.Duration // keyed by X-GCA-Shard-Owner when present
 		ok        int
 		degraded  int
 		retries   int
@@ -123,6 +180,7 @@ func main() {
 		go func(w int) {
 			defer wg.Done()
 			st := &stats[w]
+			st.byShard = map[int][]time.Duration{}
 			for {
 				i := issued.Add(1) - 1
 				if *total > 0 {
@@ -143,22 +201,24 @@ func main() {
 				switch resp.StatusCode {
 				case http.StatusOK:
 					st.ok++
-					if *faultSpec != "" {
-						// Under faults the body tells clean from degraded;
-						// decoding cost only taxes the chaos mode.
-						var r struct {
-							Degraded bool `json:"degraded"`
-							Retries  int  `json:"retries"`
-						}
-						if json.NewDecoder(resp.Body).Decode(&r) == nil && r.Degraded {
-							st.degraded++
-							st.degLat = append(st.degLat, lat)
-						} else {
-							st.latencies = append(st.latencies, lat)
-						}
-						st.retries += r.Retries
+					// The body tells clean from degraded (the report always
+					// splits the two); labels=0 keeps it a few dozen bytes.
+					var r struct {
+						Degraded bool `json:"degraded"`
+						Retries  int  `json:"retries"`
+					}
+					if json.NewDecoder(resp.Body).Decode(&r) == nil && r.Degraded {
+						st.degraded++
+						st.degLat = append(st.degLat, lat)
 					} else {
 						st.latencies = append(st.latencies, lat)
+					}
+					st.retries += r.Retries
+					// A sharded deployment names the owner on every response.
+					if shard := resp.Header.Get(cluster.OwnerHeader); shard != "" {
+						if s, err := strconv.Atoi(shard); err == nil {
+							st.byShard[s] = append(st.byShard[s], lat)
+						}
 					}
 				case http.StatusTooManyRequests:
 					st.rejected++
@@ -174,10 +234,14 @@ func main() {
 	elapsed := time.Since(start)
 
 	var clean, deg []time.Duration
+	byShard := map[int][]time.Duration{}
 	ok, degraded, retries, rejected, failed := 0, 0, 0, 0, 0
 	for i := range stats {
 		clean = append(clean, stats[i].latencies...)
 		deg = append(deg, stats[i].degLat...)
+		for s, lats := range stats[i].byShard {
+			byShard[s] = append(byShard[s], lats...)
+		}
 		ok += stats[i].ok
 		degraded += stats[i].degraded
 		retries += stats[i].retries
@@ -189,20 +253,43 @@ func main() {
 	fmt.Printf("requests=%d ok=%d rejected429=%d failed=%d elapsed=%.2fs throughput=%.1f req/s\n",
 		ok+rejected+failed, ok, rejected, failed, elapsed.Seconds(),
 		float64(ok)/elapsed.Seconds())
-	if *faultSpec != "" {
+	if degraded > 0 || retries > 0 || *faultSpec != "" {
 		fmt.Printf("chaos: degraded=%d clean=%d retries=%d\n", degraded, ok-degraded, retries)
-		printLatency("latency(clean)", clean)
-		printLatency("latency(degraded)", deg)
-	} else {
-		printLatency("latency", clean)
+	}
+	printLatency("latency(clean)", clean)
+	printLatency("latency(degraded)", deg)
+	for _, s := range sortedShards(byShard) {
+		lats := byShard[s]
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		fmt.Printf("shard %d: n=%d p50=%s p99=%s\n",
+			s, len(lats), quantile(lats, 0.50), quantile(lats, 0.99))
+	}
+	if *jsonOut != "" && len(clean) > 0 {
+		sort.Slice(clean, func(i, j int) bool { return clean[i] < clean[j] })
+		if err := appendTrajectory(*jsonOut, *label, []benchPoint{{
+			Name:       fmt.Sprintf("Loadgen/http/%s/c=%d", *engine, *concurrency),
+			Pkg:        "gcacc/cmd/gca-loadgen",
+			Iterations: int64(len(clean)),
+			NsPerOp:    float64(quantile(clean, 0.50).Nanoseconds()),
+			Metrics: map[string]float64{
+				"p99_us": float64(quantile(clean, 0.99).Microseconds()),
+				"req/s":  float64(ok) / elapsed.Seconds(),
+			},
+		}}); err != nil {
+			fatal(err)
+		}
 	}
 
 	// Server-side view: cache effectiveness, queue behaviour and — under
 	// faults — the resilience counters.
 	if resp, err := client.Get(strings.TrimSuffix(*addr, "/") + "/v1/stats"); err == nil {
 		defer func() { _ = resp.Body.Close() }()
-		var st service.Stats
-		if json.NewDecoder(resp.Body).Decode(&st) == nil {
+		var payload struct {
+			service.Stats
+			Cluster *cluster.Stats `json:"cluster"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&payload) == nil {
+			st := payload.Stats
 			fmt.Printf("server: completed=%d cache_hits=%d cache_misses=%d coalesced=%d rejected429=%d generations=%d\n",
 				st.Completed, st.CacheHits, st.CacheMisses, st.Coalesced, st.RejectedFull, st.Generations)
 			fmt.Printf("server: queue_wait p50=%dµs p99=%dµs · run p50=%dµs p99=%dµs\n",
@@ -215,8 +302,24 @@ func main() {
 				fmt.Printf("server: injected step_errors=%d step_delays=%d worker_stalls=%d over %d runs\n",
 					st.Faults.StepErrors, st.Faults.StepDelays, st.Faults.WorkerStalls, st.Faults.Runs)
 			}
+			if cs := payload.Cluster; cs != nil && len(cs.Members) > 1 {
+				fmt.Printf("server: cluster self=%d/%d routed=%d proxied=%d peer_calls=%d peer_errors=%d "+
+					"peer_cache hits=%d misses=%d fallback_local=%d\n",
+					cs.Self, len(cs.Members), cs.RoutedRemote, cs.Proxied, cs.PeerCalls, cs.PeerErrors,
+					cs.PeerCacheHits, cs.PeerCacheMisses, cs.FallbackLocal)
+			}
 		}
 	}
+}
+
+// sortedShards returns the shard keys in ascending order.
+func sortedShards(byShard map[int][]time.Duration) []int {
+	shards := make([]int, 0, len(byShard))
+	for s := range byShard {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+	return shards
 }
 
 // printLatency prints one percentile line, or nothing for an empty set.

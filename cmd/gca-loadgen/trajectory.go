@@ -1,0 +1,92 @@
+package main
+
+// The trajectory appender: -json FILE appends the run's numbers to the
+// same {"points": [...]} file gca-benchjson writes, so loadgen
+// measurements (closed-loop p50/p99, per-shard splits) line up beside
+// the `go test -bench` points instead of living in scrollback. The
+// structs mirror gca-benchjson's wire format — the two commands stay
+// independently buildable.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"runtime"
+	"time"
+)
+
+// benchPoint is one measurement in a trajectory point, gca-benchjson's
+// Benchmark shape.
+type benchPoint struct {
+	Name        string             `json:"name"`
+	Pkg         string             `json:"pkg,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type trajectoryPoint struct {
+	Label      string       `json:"label"`
+	Date       string       `json:"date"`
+	Goos       string       `json:"goos,omitempty"`
+	Goarch     string       `json:"goarch,omitempty"`
+	CPU        string       `json:"cpu,omitempty"`
+	Benchmarks []benchPoint `json:"benchmarks"`
+}
+
+type trajectory struct {
+	Points []trajectoryPoint `json:"points"`
+}
+
+// appendTrajectory adds one labelled point to the file, creating it if
+// absent. A point with the same label already present on the same date
+// is extended rather than duplicated, so a single bench session's
+// single/batch/per-shard runs collect under one point.
+func appendTrajectory(path, label string, benchmarks []benchPoint) error {
+	traj := &trajectory{}
+	buf, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+	case err != nil:
+		return err
+	default:
+		if err := json.Unmarshal(buf, traj); err != nil {
+			return fmt.Errorf("%s: not a trajectory file: %w", path, err)
+		}
+	}
+
+	date := time.Now().Format("2006-01-02")
+	merged := false
+	for i := range traj.Points {
+		if traj.Points[i].Label == label && traj.Points[i].Date == date {
+			traj.Points[i].Benchmarks = append(traj.Points[i].Benchmarks, benchmarks...)
+			merged = true
+			break
+		}
+	}
+	if !merged {
+		traj.Points = append(traj.Points, trajectoryPoint{
+			Label:      label,
+			Date:       date,
+			Goos:       runtime.GOOS,
+			Goarch:     runtime.GOARCH,
+			Benchmarks: benchmarks,
+		})
+	}
+
+	out, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "gca-loadgen: %s: %d points (+%d benchmarks under %q)\n",
+		path, len(traj.Points), len(benchmarks), label)
+	return nil
+}

@@ -61,6 +61,7 @@ import (
 	"time"
 
 	"gcacc"
+	"gcacc/internal/cluster"
 	"gcacc/internal/fault"
 	"gcacc/internal/graph"
 	"gcacc/internal/service"
@@ -97,6 +98,14 @@ func main() {
 		streamBatch    = flag.Int("stream-max-batch", 65536, "largest accepted mutation batch")
 		streamEngine   = flag.String("stream-engine", "liutarjan", "recompute engine for streaming graphs")
 		streamPeriod   = flag.Int("stream-recompute-period", 0, "force a full recompute every N accepted batches (0 = only after deletions)")
+
+		peersCSV     = flag.String("peers", "", "comma-separated peer base URLs forming the static ring, index = member id (empty = standalone)")
+		selfIdx      = flag.Int("self", 0, "this replica's index in -peers")
+		clusterMode  = flag.String("cluster-mode", "proxy", "non-owner handling for cluster requests: proxy|redirect|federate")
+		peerBudget   = flag.Duration("peer-budget", 100*time.Millisecond, "deadline per peer call before degrading to local compute")
+		vnodes       = flag.Int("vnodes", 0, "virtual nodes per ring member (0 = default)")
+		batchItems   = flag.Int("batch-items", 256, "largest accepted /v1/components/batch item count")
+		batchTickets = flag.Int("batch-tickets", 4, "concurrent batch admission tickets")
 	)
 	flag.Parse()
 
@@ -130,8 +139,31 @@ func main() {
 		DegradeDepth:       *degradeDepth,
 	})
 
+	node, peerURLs, redirect, err := buildCluster(svc, clusterFlags{
+		peersCSV:     *peersCSV,
+		self:         *selfIdx,
+		mode:         *clusterMode,
+		peerBudget:   *peerBudget,
+		vnodes:       *vnodes,
+		batchItems:   *batchItems,
+		batchTickets: *batchTickets,
+	})
+	if err != nil {
+		log.Fatalf("gca-serve: cluster: %v", err)
+	}
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/components", componentsHandler(svc, *maxBody, *chaos))
+	if len(peerURLs) > 1 {
+		// Multi-replica: single requests route through the ring (and carry
+		// the shard-owner header); peers reach this replica's queue, cache
+		// and batch runner on /internal/v1.
+		mux.HandleFunc("POST /v1/components", clusterComponentsHandler(node, peerURLs, redirect, *maxBody, *chaos))
+	} else {
+		mux.HandleFunc("POST /v1/components", componentsHandler(svc, *maxBody, *chaos))
+	}
+	cluster.RegisterPeerHandlers(mux, node, *maxBody)
+	mux.HandleFunc("POST /v1/components/batch", batchHandler(node, *maxBody))
+	expvar.Publish("gcacc_cluster", expvar.Func(func() any { return node.Stats() }))
 	if *streamGraphs > 0 {
 		eng, err := gcacc.ParseEngine(*streamEngine)
 		if err != nil {
@@ -151,7 +183,7 @@ func main() {
 		expvar.Publish("gcacc_stream", expvar.Func(func() any { return reg.Stats() }))
 	}
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Stats())
+		writeJSON(w, http.StatusOK, statsResponse{Stats: svc.Stats(), Cluster: node.Stats()})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -204,84 +236,101 @@ type componentsResponse struct {
 	Labels      []int  `json:"labels,omitempty"`
 }
 
+// parseComponents decodes a POST /v1/components request (query knobs +
+// graph body) into a service request. On failure it writes the error
+// response and reports ok = false.
+func parseComponents(w http.ResponseWriter, r *http.Request, maxBody int64, chaos bool) (service.Request, bool) {
+	q := r.URL.Query()
+	engineName := q.Get("engine")
+	if engineName == "" {
+		engineName = "gca"
+	}
+	eng, err := gcacc.ParseEngine(engineName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return service.Request{}, false
+	}
+
+	var reqInj *fault.Injector
+	if spec := q.Get("fault"); spec != "" {
+		if !chaos {
+			writeError(w, http.StatusBadRequest,
+				errors.New("per-request fault injection requires the server's -chaos flag"))
+			return service.Request{}, false
+		}
+		cfg, err := fault.ParseSpec(spec)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return service.Request{}, false
+		}
+		reqInj = fault.New(cfg)
+	}
+
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	var g *graph.Graph
+	switch format := q.Get("format"); format {
+	case "", "edges":
+		g, err = graph.ReadEdgeList(body)
+	case "matrix":
+		g, err = graph.ReadMatrix(body)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (edges|matrix)", format))
+		return service.Request{}, false
+	}
+	if err != nil {
+		// MaxBytesReader surfaces through the parser; keep the 413.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return service.Request{}, false
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return service.Request{}, false
+	}
+
+	return service.Request{
+		Graph:   g,
+		Engine:  eng,
+		NoCache: q.Get("nocache") == "1" || reqInj != nil,
+		Fault:   reqInj,
+	}, true
+}
+
+// buildComponentsResponse assembles the success body shared by the
+// standalone and cluster-routed handlers.
+func buildComponentsResponse(n int, res *service.Result, withLabels bool) componentsResponse {
+	resp := componentsResponse{
+		N:           n,
+		Components:  res.Components,
+		Engine:      res.Engine,
+		Cached:      res.Cached,
+		Coalesced:   res.Coalesced,
+		Degraded:    res.Degraded,
+		Retries:     res.Retries,
+		Generations: res.Generations,
+		PRAMSteps:   res.PRAMSteps,
+		WaitUS:      res.Wait.Microseconds(),
+		RunUS:       res.Run.Microseconds(),
+	}
+	if withLabels {
+		resp.Labels = res.Labels
+	}
+	return resp
+}
+
 func componentsHandler(svc *service.Service, maxBody int64, chaos bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		q := r.URL.Query()
-		engineName := q.Get("engine")
-		if engineName == "" {
-			engineName = "gca"
-		}
-		eng, err := gcacc.ParseEngine(engineName)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+		req, ok := parseComponents(w, r, maxBody, chaos)
+		if !ok {
 			return
 		}
-
-		var reqInj *fault.Injector
-		if spec := q.Get("fault"); spec != "" {
-			if !chaos {
-				writeError(w, http.StatusBadRequest,
-					errors.New("per-request fault injection requires the server's -chaos flag"))
-				return
-			}
-			cfg, err := fault.ParseSpec(spec)
-			if err != nil {
-				writeError(w, http.StatusBadRequest, err)
-				return
-			}
-			reqInj = fault.New(cfg)
-		}
-
-		body := http.MaxBytesReader(w, r.Body, maxBody)
-		var g *graph.Graph
-		switch format := q.Get("format"); format {
-		case "", "edges":
-			g, err = graph.ReadEdgeList(body)
-		case "matrix":
-			g, err = graph.ReadMatrix(body)
-		default:
-			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (edges|matrix)", format))
-			return
-		}
-		if err != nil {
-			// MaxBytesReader surfaces through the parser; keep the 413.
-			var tooBig *http.MaxBytesError
-			if errors.As(err, &tooBig) {
-				writeError(w, http.StatusRequestEntityTooLarge, err)
-				return
-			}
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-
-		res, err := svc.Submit(r.Context(), service.Request{
-			Graph:   g,
-			Engine:  eng,
-			NoCache: q.Get("nocache") == "1" || reqInj != nil,
-			Fault:   reqInj,
-		})
+		res, err := svc.Submit(r.Context(), req)
 		if err != nil {
 			writeError(w, statusOf(err), err)
 			return
 		}
-
-		resp := componentsResponse{
-			N:           g.N(),
-			Components:  res.Components,
-			Engine:      res.Engine,
-			Cached:      res.Cached,
-			Coalesced:   res.Coalesced,
-			Degraded:    res.Degraded,
-			Retries:     res.Retries,
-			Generations: res.Generations,
-			PRAMSteps:   res.PRAMSteps,
-			WaitUS:      res.Wait.Microseconds(),
-			RunUS:       res.Run.Microseconds(),
-		}
-		if q.Get("labels") != "0" {
-			resp.Labels = res.Labels
-		}
-		writeJSON(w, http.StatusOK, resp)
+		writeJSON(w, http.StatusOK,
+			buildComponentsResponse(req.Graph.N(), res, r.URL.Query().Get("labels") != "0"))
 	}
 }
 

@@ -30,6 +30,17 @@
 //
 //	gca-verify -stream-n 10000 -format text
 //	gca-verify -stream-n 1000 -fault seed=9,batcherr=0.1,steperr=0.02
+//
+// With -cluster-replicas the cluster harness runs instead
+// (verify.RunCluster): the conformance corpus replayed through
+// in-process multi-replica topologies, every request submitted through
+// every replica — including deliberately wrong shards — with labels
+// held bit-identical to the single-process path and the union-find
+// ground truth, owners checked against the ring's deterministic
+// placement, and the batch path conformed item for item:
+//
+//	gca-verify -cluster-replicas 1,2,4 -format text
+//	gca-verify -cluster-replicas 2 -cluster-mode federate -engines gca
 package main
 
 import (
@@ -37,9 +48,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"gcacc"
+	"gcacc/internal/cluster"
 	"gcacc/internal/verify"
 )
 
@@ -58,8 +71,45 @@ func main() {
 		sparseN     = flag.Int("sparse-n", 0, "run the sparse harness at this vertex budget instead (edge-list engines vs union-find)")
 		noVariants  = flag.Bool("no-variants", false, "sparse harness: skip the per-variant Liu–Tarjan runs")
 		streamN     = flag.Int("stream-n", 0, "run the stream harness at this vertex budget instead (mutation traces vs union-find oracle)")
+		clusterCSV  = flag.String("cluster-replicas", "", "run the cluster harness instead over these comma-separated replica counts (e.g. 1,2,4)")
+		clusterMode = flag.String("cluster-mode", "proxy", "cluster harness routing mode: proxy|federate")
 	)
 	flag.Parse()
+
+	if *clusterCSV != "" {
+		opt := verify.ClusterOptions{N: *n, Seed: *seed, Workers: *workers}
+		for _, s := range strings.Split(*clusterCSV, ",") {
+			r, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || r < 1 {
+				fmt.Fprintf(os.Stderr, "gca-verify: -cluster-replicas: bad replica count %q\n", s)
+				os.Exit(2)
+			}
+			opt.Replicas = append(opt.Replicas, r)
+		}
+		mode, err := cluster.ParseMode(*clusterMode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gca-verify:", err)
+			os.Exit(2)
+		}
+		opt.Mode = mode
+		if *enginesCSV != "" {
+			for _, name := range strings.Split(*enginesCSV, ",") {
+				e, err := gcacc.ParseEngine(strings.TrimSpace(name))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "gca-verify:", err)
+					os.Exit(2)
+				}
+				opt.Engines = append(opt.Engines, e)
+			}
+		}
+		rep, err := verify.RunCluster(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gca-verify:", err)
+			os.Exit(2)
+		}
+		emit(rep, *format, *failuresCap)
+		return
+	}
 
 	if *streamN > 0 {
 		rep, err := verify.RunStream(verify.StreamOptions{

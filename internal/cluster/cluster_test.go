@@ -1,0 +1,432 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"gcacc"
+	"gcacc/internal/graph"
+	"gcacc/internal/service"
+)
+
+// testTopology builds an in-process topology that is torn down with the
+// test.
+func testTopology(t *testing.T, replicas int, mode Mode) *Topology {
+	t.Helper()
+	top, err := NewInProcessTopology(replicas, service.Config{}, Config{Mode: mode})
+	if err != nil {
+		t.Fatalf("NewInProcessTopology: %v", err)
+	}
+	t.Cleanup(top.Close)
+	return top
+}
+
+// graphOwnedBy searches deterministic path graphs until one hashes to
+// the wanted owner on the topology's ring.
+func graphOwnedBy(t *testing.T, top *Topology, owner int) *graph.Graph {
+	t.Helper()
+	for n := 2; n < 2000; n++ {
+		g := graph.Path(n)
+		if top.Nodes[0].Owner(g.Fingerprint()) == owner {
+			return g
+		}
+	}
+	t.Fatalf("no path graph owned by member %d", owner)
+	return nil
+}
+
+func wantLabels(g *graph.Graph) []int {
+	return graph.ConnectedComponentsUnionFind(g)
+}
+
+func labelsEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	if _, err := NewNode(svc, Config{Self: 7, Members: []int{0, 1}}); err == nil {
+		t.Fatal("self outside members: want error")
+	}
+	if _, err := NewNode(svc, Config{Self: 0, Members: []int{0, 1, 1}}); err == nil {
+		t.Fatal("duplicate member: want error")
+	}
+	if _, err := NewNode(nil, Config{Self: 0}); err == nil {
+		t.Fatal("nil service: want error")
+	}
+	n, err := NewNode(svc, Config{Self: 3})
+	if err != nil {
+		t.Fatalf("singleton node: %v", err)
+	}
+	if got := n.Config().Members; len(got) != 1 || got[0] != 3 {
+		t.Fatalf("singleton members = %v, want [3]", got)
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Mode
+		ok   bool
+	}{
+		{"proxy", ModeProxy, true},
+		{"federate", ModeFederate, true},
+		{" Proxy ", ModeProxy, true},
+		{"redirect", 0, false},
+		{"", 0, false},
+	} {
+		got, err := ParseMode(tc.in)
+		if tc.ok != (err == nil) || (tc.ok && got != tc.want) {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	if ModeProxy.String() != "proxy" || ModeFederate.String() != "federate" {
+		t.Fatal("Mode.String mismatch")
+	}
+}
+
+func TestOwnerAgreesAcrossReplicas(t *testing.T) {
+	top := testTopology(t, 4, ModeProxy)
+	for n := 2; n < 64; n++ {
+		fp := graph.Path(n).Fingerprint()
+		want := top.Nodes[0].Owner(fp)
+		for _, node := range top.Nodes[1:] {
+			if got := node.Owner(fp); got != want {
+				t.Fatalf("P%d: node %d owner %d, node 0 owner %d", n, node.Self(), got, want)
+			}
+		}
+	}
+}
+
+func TestSubmitOwnedLocal(t *testing.T) {
+	top := testTopology(t, 1, ModeProxy)
+	g := graph.Path(10)
+	res, err := top.Nodes[0].Submit(context.Background(), service.Request{Graph: g})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if res.Owner != 0 || res.Served != 0 || res.Proxied || res.FallbackLocal {
+		t.Fatalf("single-replica provenance = %+v", res)
+	}
+	if !labelsEq(res.Labels, wantLabels(g)) {
+		t.Fatalf("labels = %v, want %v", res.Labels, wantLabels(g))
+	}
+}
+
+func TestProxyRouting(t *testing.T) {
+	top := testTopology(t, 2, ModeProxy)
+	g := graphOwnedBy(t, top, 1)
+	res, err := top.Nodes[0].Submit(context.Background(), service.Request{Graph: g})
+	if err != nil {
+		t.Fatalf("Submit via non-owner: %v", err)
+	}
+	if !res.Proxied || res.Owner != 1 || res.Served != 1 {
+		t.Fatalf("proxy provenance = owner=%d served=%d proxied=%v", res.Owner, res.Served, res.Proxied)
+	}
+	if !labelsEq(res.Labels, wantLabels(g)) {
+		t.Fatal("proxied labels differ from union-find truth")
+	}
+	s0, s1 := top.Nodes[0].Stats(), top.Nodes[1].Stats()
+	if s0.RoutedRemote != 1 || s0.Proxied != 1 || s0.PeerCalls != 1 {
+		t.Fatalf("node 0 stats = %+v", s0)
+	}
+	if s1.PeerServed != 1 {
+		t.Fatalf("node 1 peer_served = %d, want 1", s1.PeerServed)
+	}
+
+	// The owner computed it, so the owner's cache is authoritative: a
+	// repeat via the other replica proxies again and hits that cache.
+	res2, err := top.Nodes[0].Submit(context.Background(), service.Request{Graph: g})
+	if err != nil {
+		t.Fatalf("repeat Submit: %v", err)
+	}
+	if !res2.Cached {
+		t.Fatal("repeat via proxy should hit the owner's cache")
+	}
+}
+
+func TestProxyFallbackWhenPeerStopped(t *testing.T) {
+	top := testTopology(t, 2, ModeProxy)
+	g := graphOwnedBy(t, top, 1)
+	top.Nodes[1].Stop()
+
+	res, err := top.Nodes[0].Submit(context.Background(), service.Request{Graph: g})
+	if err != nil {
+		t.Fatalf("Submit with dead owner: %v", err)
+	}
+	if !res.FallbackLocal || res.Served != 0 || res.Owner != 1 {
+		t.Fatalf("fallback provenance = %+v", res)
+	}
+	if !labelsEq(res.Labels, wantLabels(g)) {
+		t.Fatal("fallback labels differ from union-find truth")
+	}
+	s0 := top.Nodes[0].Stats()
+	if s0.FallbackLocal != 1 || s0.PeerErrors != 1 {
+		t.Fatalf("node 0 stats after fallback = %+v", s0)
+	}
+
+	// Restart: traffic proxies again.
+	top.Nodes[1].Start()
+	res, err = top.Nodes[0].Submit(context.Background(), service.Request{Graph: g, NoCache: true})
+	if err != nil {
+		t.Fatalf("Submit after restart: %v", err)
+	}
+	if !res.Proxied {
+		t.Fatalf("after restart: provenance = %+v, want proxied", res)
+	}
+}
+
+func TestSubmitOnStoppedNode(t *testing.T) {
+	top := testTopology(t, 2, ModeProxy)
+	top.Nodes[0].Stop()
+	_, err := top.Nodes[0].Submit(context.Background(), service.Request{Graph: graph.Path(4)})
+	if !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("Submit on stopped node: %v, want ErrNodeDown", err)
+	}
+	if top.Nodes[0].Stopped() != true {
+		t.Fatal("Stopped() = false after Stop")
+	}
+}
+
+func TestFederateCacheFillbackAndHit(t *testing.T) {
+	top := testTopology(t, 3, ModeProxy)
+	for _, n := range top.Nodes {
+		n.cfg.Mode = ModeFederate
+	}
+	owner := 2
+	g := graphOwnedBy(t, top, owner)
+
+	// First request via replica 0: owner cache miss, local compute,
+	// fill-back offer to the owner.
+	res, err := top.Nodes[0].Submit(context.Background(), service.Request{Graph: g})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if res.PeerCacheHit || res.Served != 0 || res.Owner != owner {
+		t.Fatalf("first federated request provenance = %+v", res)
+	}
+	s0 := top.Nodes[0].Stats()
+	if s0.PeerCacheMisses != 1 || s0.CacheOffers != 1 {
+		t.Fatalf("node 0 stats = misses=%d offers=%d, want 1,1", s0.PeerCacheMisses, s0.CacheOffers)
+	}
+
+	// Second request via replica 1: the owner's cache now has it.
+	res, err = top.Nodes[1].Submit(context.Background(), service.Request{Graph: g})
+	if err != nil {
+		t.Fatalf("Submit via replica 1: %v", err)
+	}
+	if !res.PeerCacheHit || res.Served != owner || !res.Cached {
+		t.Fatalf("second federated request provenance = %+v", res)
+	}
+	if !labelsEq(res.Labels, wantLabels(g)) {
+		t.Fatal("federated cache hit labels differ from union-find truth")
+	}
+	if s1 := top.Nodes[1].Stats(); s1.PeerCacheHits != 1 {
+		t.Fatalf("node 1 peer_cache_hits = %d, want 1", s1.PeerCacheHits)
+	}
+}
+
+func TestFederateDeadOwnerDegradesToLocal(t *testing.T) {
+	top := testTopology(t, 2, ModeProxy)
+	for _, n := range top.Nodes {
+		n.cfg.Mode = ModeFederate
+	}
+	g := graphOwnedBy(t, top, 1)
+	top.Nodes[1].Stop()
+	res, err := top.Nodes[0].Submit(context.Background(), service.Request{Graph: g})
+	if err != nil {
+		t.Fatalf("federated Submit with dead owner: %v", err)
+	}
+	if res.PeerCacheHit || res.Served != 0 {
+		t.Fatalf("provenance = %+v, want local compute", res)
+	}
+	if !labelsEq(res.Labels, wantLabels(g)) {
+		t.Fatal("labels differ from union-find truth")
+	}
+	if s0 := top.Nodes[0].Stats(); s0.PeerErrors == 0 {
+		t.Fatal("peer_errors = 0, want > 0")
+	}
+}
+
+func TestNonOwnerSingleFlight(t *testing.T) {
+	top := testTopology(t, 2, ModeProxy)
+	g := graphOwnedBy(t, top, 1)
+	want := wantLabels(g)
+	const clients = 16
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			res, err := top.Nodes[0].Submit(context.Background(), service.Request{Graph: g})
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			if !labelsEq(res.Labels, want) {
+				errs[c] = errors.New("labels mismatch")
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+	// Every request either led a peer call or joined an in-flight twin.
+	s0 := top.Nodes[0].Stats()
+	if s0.Coalesced+s0.PeerCalls != clients {
+		t.Fatalf("coalesced(%d) + peer_calls(%d) != %d", s0.Coalesced, s0.PeerCalls, clients)
+	}
+}
+
+func TestHTTPPeerTransport(t *testing.T) {
+	// Two real services, two nodes, wired over real HTTP.
+	svcA := service.New(service.Config{})
+	defer svcA.Close()
+	svcB := service.New(service.Config{})
+	defer svcB.Close()
+	members := []int{0, 1}
+	nodeA, err := NewNode(svcA, Config{Self: 0, Members: members, Mode: ModeProxy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeB, err := NewNode(svcB, Config{Self: 1, Members: members, Mode: ModeProxy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	muxB := http.NewServeMux()
+	RegisterPeerHandlers(muxB, nodeB, 1<<20)
+	srvB := httptest.NewServer(muxB)
+	defer srvB.Close()
+	nodeA.SetPeers(map[int]Peer{1: NewHTTPPeer(srvB.URL, srvB.Client())})
+
+	var g *graph.Graph
+	for n := 2; n < 2000; n++ {
+		if c := graph.Path(n); nodeA.Owner(c.Fingerprint()) == 1 {
+			g = c
+			break
+		}
+	}
+	if g == nil {
+		t.Fatal("no graph owned by member 1")
+	}
+
+	res, err := nodeA.Submit(context.Background(), service.Request{Graph: g})
+	if err != nil {
+		t.Fatalf("Submit over HTTP peer: %v", err)
+	}
+	if !res.Proxied || res.Served != 1 {
+		t.Fatalf("provenance = %+v, want proxied to 1", res)
+	}
+	if !labelsEq(res.Labels, wantLabels(g)) {
+		t.Fatal("HTTP-proxied labels differ from union-find truth")
+	}
+
+	// Cache federation over HTTP: get (miss), put, get (hit).
+	peer := NewHTTPPeer(srvB.URL, srvB.Client())
+	fp := graph.Path(5).Fingerprint()
+	if _, ok, err := peer.CacheGet(context.Background(), fp, gcacc.EngineGCA); err != nil || ok {
+		t.Fatalf("CacheGet on empty cache = ok=%v err=%v", ok, err)
+	}
+	seed := &service.Result{Labels: []int{0, 0, 0, 0, 0}, Components: 1, Engine: "gca"}
+	if err := peer.CachePut(context.Background(), fp, gcacc.EngineGCA, seed); err != nil {
+		t.Fatalf("CachePut: %v", err)
+	}
+	got, ok, err := peer.CacheGet(context.Background(), fp, gcacc.EngineGCA)
+	if err != nil || !ok {
+		t.Fatalf("CacheGet after put = ok=%v err=%v", ok, err)
+	}
+	if !labelsEq(got.Labels, seed.Labels) || !got.Cached {
+		t.Fatalf("federated cache round-trip = %+v", got)
+	}
+
+	// Batch over HTTP.
+	items := []BatchItem{{Graph: graph.Path(6)}, {Graph: graph.Star(7)}}
+	outs, err := peer.ComputeBatch(context.Background(), items)
+	if err != nil {
+		t.Fatalf("ComputeBatch: %v", err)
+	}
+	for i, oc := range outs {
+		if oc.Err != nil {
+			t.Fatalf("item %d: %v", i, oc.Err)
+		}
+		if !labelsEq(oc.Result.Labels, wantLabels(items[i].Graph)) {
+			t.Fatalf("item %d labels mismatch", i)
+		}
+	}
+
+	// A stopped node answers 503, which the caller treats as a dead peer.
+	nodeB.Stop()
+	if _, err := nodeA.Submit(context.Background(), service.Request{Graph: g, NoCache: true}); err != nil {
+		t.Fatalf("Submit with stopped HTTP peer should fall back locally: %v", err)
+	}
+	if s := nodeA.Stats(); s.FallbackLocal != 1 {
+		t.Fatalf("fallback_local = %d, want 1", s.FallbackLocal)
+	}
+}
+
+func TestStatusOf(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want int
+	}{
+		{nil, 200},
+		{service.ErrQueueFull, 429},
+		{ErrBatchBusy, 429},
+		{service.ErrTooLarge, 413},
+		{ErrBatchTooLarge, 413},
+		{service.ErrDenseOnly, 422},
+		{ErrNodeDown, 503},
+		{ErrPeerDown, 503},
+		{ErrEmptyBatch, 400},
+		{service.ErrNilGraph, 400},
+		{context.Canceled, 499},
+		{context.DeadlineExceeded, 504},
+		{&StatusError{Code: 422, Msg: "x"}, 422},
+		{errors.New("mystery"), 500},
+	} {
+		if got := StatusOf(tc.err); got != tc.want {
+			t.Errorf("StatusOf(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestWireItemRoundTrip(t *testing.T) {
+	g := graph.Star(9)
+	wi, err := EncodeWireItem(BatchItem{Graph: g, Engine: gcacc.EnginePRAM, NoCache: true})
+	if err != nil {
+		t.Fatalf("EncodeWireItem: %v", err)
+	}
+	it := DecodeWireItem(wi)
+	if it.Err != nil {
+		t.Fatalf("DecodeWireItem: %v", it.Err)
+	}
+	if !it.Graph.Equal(g) || it.Engine != gcacc.EnginePRAM || !it.NoCache {
+		t.Fatalf("round trip = %+v", it)
+	}
+
+	bad := DecodeWireItem(WireItem{Graph: "not a graph"})
+	if bad.Err == nil || StatusOf(bad.Err) != 400 {
+		t.Fatalf("malformed graph should decode to a 400 item error, got %v", bad.Err)
+	}
+	badEng := DecodeWireItem(WireItem{Graph: "2 1\n0 1\n", Engine: "warp"})
+	if badEng.Err == nil || StatusOf(badEng.Err) != 400 {
+		t.Fatalf("unknown engine should decode to a 400 item error, got %v", badEng.Err)
+	}
+}

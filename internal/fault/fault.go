@@ -64,12 +64,24 @@ type Config struct {
 	// touched, so an aborted batch is atomic: the graph is unchanged and
 	// the caller may retry.
 	BatchErrorP float64
+	// PeerErrorP is the per-peer-call probability that a cluster-tier
+	// peer RPC fails with a transient error before it leaves the caller —
+	// the "dead peer" fault of the cluster chaos tier. The decision fires
+	// before any bytes move, so a failed call is free to fall back to
+	// local compute.
+	PeerErrorP float64
+	// PeerStallP is the per-peer-call probability of injected latency of
+	// PeerStall before the call proceeds — the "slow peer" fault that
+	// exercises the bounded peer-call budget.
+	PeerStallP float64
+	PeerStall  time.Duration
 }
 
 // Enabled reports whether the config injects anything at all.
 func (c Config) Enabled() bool {
 	return c.StepErrorP > 0 || (c.StepDelayP > 0 && c.StepDelay > 0) ||
-		(c.StallP > 0 && c.Stall > 0) || c.BatchErrorP > 0
+		(c.StallP > 0 && c.Stall > 0) || c.BatchErrorP > 0 ||
+		c.PeerErrorP > 0 || (c.PeerStallP > 0 && c.PeerStall > 0)
 }
 
 // String renders the config in the ParseSpec grammar.
@@ -87,6 +99,12 @@ func (c Config) String() string {
 	if c.BatchErrorP > 0 {
 		parts = append(parts, fmt.Sprintf("batcherr=%g", c.BatchErrorP))
 	}
+	if c.PeerErrorP > 0 {
+		parts = append(parts, fmt.Sprintf("peererr=%g", c.PeerErrorP))
+	}
+	if c.PeerStallP > 0 && c.PeerStall > 0 {
+		parts = append(parts, fmt.Sprintf("peerstall=%g:%s", c.PeerStallP, c.PeerStall))
+	}
 	return strings.Join(parts, ",")
 }
 
@@ -96,9 +114,10 @@ func (c Config) String() string {
 //
 // Keys: seed=N (decision seed), steperr=P (per-step transient-error
 // probability), stepdelay=P:DUR (per-step latency), stall=P:DUR
-// (per-shard worker stall), batcherr=P (per-stream-batch abort).
-// Probabilities are in [0,1]; durations use time.ParseDuration syntax.
-// An empty spec is the zero Config.
+// (per-shard worker stall), batcherr=P (per-stream-batch abort),
+// peererr=P (per-peer-call failure), peerstall=P:DUR (per-peer-call
+// latency). Probabilities are in [0,1]; durations use
+// time.ParseDuration syntax. An empty spec is the zero Config.
 func ParseSpec(spec string) (Config, error) {
 	var c Config
 	if strings.TrimSpace(spec) == "" {
@@ -144,8 +163,20 @@ func ParseSpec(spec string) (Config, error) {
 				return Config{}, fmt.Errorf("fault: batcherr: %w", err)
 			}
 			c.BatchErrorP = p
+		case "peererr":
+			p, err := parseProb(val)
+			if err != nil {
+				return Config{}, fmt.Errorf("fault: peererr: %w", err)
+			}
+			c.PeerErrorP = p
+		case "peerstall":
+			p, d, err := parseProbDur(val)
+			if err != nil {
+				return Config{}, fmt.Errorf("fault: peerstall: %w", err)
+			}
+			c.PeerStallP, c.PeerStall = p, d
 		default:
-			return Config{}, fmt.Errorf("fault: unknown spec key %q (seed|steperr|stepdelay|stall|batcherr)", key)
+			return Config{}, fmt.Errorf("fault: unknown spec key %q (seed|steperr|stepdelay|stall|batcherr|peererr|peerstall)", key)
 		}
 	}
 	return c, nil
@@ -189,11 +220,14 @@ type Counters struct {
 	StepDelays   int64 `json:"step_delays"`
 	WorkerStalls int64 `json:"worker_stalls"`
 	BatchAborts  int64 `json:"batch_aborts"`
+	PeerErrors   int64 `json:"peer_errors"`
+	PeerStalls   int64 `json:"peer_stalls"`
 }
 
 // Any reports whether anything was injected.
 func (c Counters) Any() bool {
-	return c.StepErrors+c.StepDelays+c.WorkerStalls+c.BatchAborts > 0
+	return c.StepErrors+c.StepDelays+c.WorkerStalls+c.BatchAborts+
+		c.PeerErrors+c.PeerStalls > 0
 }
 
 // Injector hands out deterministic per-run fault schedules and counts
@@ -207,7 +241,10 @@ type Injector struct {
 	stepDelays   atomic.Int64
 	workerStalls atomic.Int64
 	batchAborts  atomic.Int64
+	peerErrors   atomic.Int64
+	peerStalls   atomic.Int64
 	batches      atomic.Uint64
+	peerCalls    atomic.Uint64
 }
 
 // New builds an injector over the real clock.
@@ -232,6 +269,8 @@ func (in *Injector) Counters() Counters {
 		StepDelays:   in.stepDelays.Load(),
 		WorkerStalls: in.workerStalls.Load(),
 		BatchAborts:  in.batchAborts.Load(),
+		PeerErrors:   in.peerErrors.Load(),
+		PeerStalls:   in.peerStalls.Load(),
 	}
 }
 
@@ -242,6 +281,8 @@ const (
 	siteStepDelay = 0x1d2b
 	siteStall     = 0x7a31
 	siteBatch     = 0x3c47
+	sitePeerErr   = 0x6b59
+	sitePeerStall = 0x2f8d
 )
 
 // Run is one engine run's decision stream. Each decision is a pure
@@ -309,6 +350,32 @@ func (in *Injector) BeforeBatch() error {
 	if Uniform01(seed, n) < in.cfg.BatchErrorP {
 		in.batchAborts.Add(1)
 		return fmt.Errorf("fault: injected batch abort (batch %d): %w", n, ErrTransient)
+	}
+	return nil
+}
+
+// BeforePeerCall applies the per-peer-call schedule for the cluster
+// tier: decision n of the injector-wide peer stream may first stall for
+// PeerStall (interruptible by ctx — pure delay, not an error) and then
+// fail with an error wrapping ErrTransient. Callers invoke it before
+// any bytes leave the process, so a failed call is atomic and the
+// caller is free to degrade to local compute.
+func (in *Injector) BeforePeerCall(ctx context.Context) error {
+	cfg := in.cfg
+	if cfg.PeerErrorP <= 0 && (cfg.PeerStallP <= 0 || cfg.PeerStall <= 0) {
+		return nil
+	}
+	n := in.peerCalls.Add(1)
+	seed := splitmix64(uint64(cfg.Seed))
+	if cfg.PeerStallP > 0 && cfg.PeerStall > 0 && Uniform01(seed^sitePeerStall, n) < cfg.PeerStallP {
+		in.peerStalls.Add(1)
+		// The stall is pure delay; an interrupt surfaces at the caller's
+		// own deadline check, not here.
+		_ = in.clock.Sleep(ctx, cfg.PeerStall)
+	}
+	if cfg.PeerErrorP > 0 && Uniform01(seed^sitePeerErr, n) < cfg.PeerErrorP {
+		in.peerErrors.Add(1)
+		return fmt.Errorf("fault: injected peer-call failure (call %d): %w", n, ErrTransient)
 	}
 	return nil
 }

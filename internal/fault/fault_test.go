@@ -45,6 +45,9 @@ func TestParseSpecRoundTrip(t *testing.T) {
 		"seed=0,steperr=1,stepdelay=1:1s,stall=1:1h0m0s",
 		"seed=11,batcherr=0.25",
 		"seed=2,steperr=0.1,batcherr=1",
+		"seed=4,peererr=0.5",
+		"seed=6,peerstall=0.1:500µs",
+		"seed=8,steperr=0.02,peererr=0.1,peerstall=0.05:1ms",
 	} {
 		c, err := ParseSpec(spec)
 		if err != nil {
@@ -71,6 +74,9 @@ func TestParseSpecErrors(t *testing.T) {
 		"stall=0.5:-1ms",      // negative duration
 		"batcherr=2",          // probability out of range
 		"batcherr=oops",       // bad float
+		"peererr=7",           // probability out of range
+		"peerstall=0.5",       // missing duration
+		"peerstall=0.5:-1s",   // negative duration
 		"unknown=1",           // unknown key
 		"seed=1,,steperr=zzz", // bad value after empty term
 	} {
@@ -100,6 +106,9 @@ func TestConfigEnabled(t *testing.T) {
 		{Config{StallP: 0.1}, false},
 		{Config{StallP: 0.1, Stall: time.Millisecond}, true},
 		{Config{BatchErrorP: 0.1}, true},
+		{Config{PeerErrorP: 0.1}, true},
+		{Config{PeerStallP: 0.1}, false}, // probability without duration injects nothing
+		{Config{PeerStallP: 0.1, PeerStall: time.Millisecond}, true},
 	}
 	for _, tc := range cases {
 		if got := tc.c.Enabled(); got != tc.want {
@@ -295,6 +304,46 @@ func TestNilInjectorHooks(t *testing.T) {
 	h = New(Config{StepErrorP: 0.5}).GCAHooks(context.Background())
 	if h.BeforeStep == nil || h.WorkerStall == nil {
 		t.Fatal("enabled injector produced zero hooks")
+	}
+}
+
+// TestBeforePeerCall checks the cluster-tier peer-call site: the stall
+// fires before the error decision, both are counted, the error is
+// transient, the schedule is deterministic per (seed, call ordinal), and
+// the site is inert when unconfigured.
+func TestBeforePeerCall(t *testing.T) {
+	ctx := context.Background()
+	off := New(Config{Seed: 5, StepErrorP: 1}) // step site must not leak into the peer site
+	for i := 0; i < 100; i++ {
+		if err := off.BeforePeerCall(ctx); err != nil {
+			t.Fatalf("BeforePeerCall with PeerErrorP=0 injected: %v", err)
+		}
+	}
+
+	record := func() []bool {
+		clk := NewFakeClock(time.Unix(0, 0))
+		cctx, cancel := context.WithCancel(ctx)
+		cancel() // cancelled ctx makes fake-clock stalls return immediately
+		in := NewWithClock(Config{Seed: 9, PeerErrorP: 0.5, PeerStallP: 0.5, PeerStall: time.Millisecond}, clk)
+		got := make([]bool, 200)
+		for i := range got {
+			err := in.BeforePeerCall(cctx)
+			if err != nil && !IsTransient(err) {
+				t.Fatalf("injected peer failure not transient: %v", err)
+			}
+			got[i] = err != nil
+		}
+		c := in.Counters()
+		if c.PeerErrors == 0 || c.PeerStalls == 0 || !c.Any() {
+			t.Fatalf("peer site fired nothing at P=0.5: %+v", c)
+		}
+		return got
+	}
+	a, b := record(), record()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("peer-call schedule not deterministic at ordinal %d", i)
+		}
 	}
 }
 

@@ -589,6 +589,51 @@ func (s *Service) backoff(attempt int) time.Duration {
 	return time.Duration(float64(d) * (0.5 + 0.5*j))
 }
 
+// CacheLookup probes the result cache for the (fingerprint, engine) key
+// without admitting or running anything — the cluster tier's federation
+// path, where a non-owner replica asks the shard owner's cache before
+// computing locally. A hit marks the entry most recently used and
+// returns a caller-owned copy; it is counted as a cache hit. A probe
+// never joins an in-flight computation: federation peer calls must stay
+// bounded, not block on a running job.
+func (s *Service) CacheLookup(fp [32]byte, engine gcacc.Engine) (*Result, bool) {
+	if s.cache == nil {
+		return nil, false
+	}
+	key := cacheKey{fp: fp, engine: engine}
+	s.mu.Lock()
+	res, ok := s.cache.get(key)
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	s.metrics.cacheHits.Inc()
+	return res.forCaller(true, false), true
+}
+
+// CacheInsert seeds the result cache with an externally computed result
+// under the (fingerprint, engine) key — the cluster tier's fill-back
+// path, where a non-owner replica that had to compute locally offers
+// the result to the shard owner so the owner's cache converges to
+// authoritative coverage of its key range. Degraded results are
+// refused, matching the worker-path policy; an in-flight local
+// computation for the same key simply overwrites the entry when it
+// lands, which is harmless — both results are identical by the
+// conformance contract.
+func (s *Service) CacheInsert(fp [32]byte, engine gcacc.Engine, res *Result) {
+	if s.cache == nil || res == nil || res.Degraded || res.Labels == nil {
+		return
+	}
+	cp := *res
+	cp.Labels = append([]int(nil), res.Labels...)
+	cp.Cached, cp.Coalesced = false, false
+	key := cacheKey{fp: fp, engine: engine}
+	s.mu.Lock()
+	evicted := s.cache.add(key, &cp)
+	s.mu.Unlock()
+	s.metrics.cacheEvictions.Add(int64(evicted))
+}
+
 // Stats snapshots every metric.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()

@@ -169,6 +169,48 @@ func TestConformanceStream(t *testing.T) {
 	}
 }
 
+// TestConformanceCluster is the sharded tier's standing gate: the
+// corpus replayed through in-process cluster topologies of 1, 2 and 4
+// replicas, every request submitted through EVERY replica — most entry
+// points are deliberately the wrong shard for the key, so consistent-
+// hash routing, proxying and cache federation sit on the critical path
+// of nearly every check. Labels must be bit-identical to the direct
+// single-process run and to union-find ground truth regardless of entry
+// point, reported owners must match the ring's deterministic placement,
+// the corpus-as-one-batch path must agree item for item, and multi-
+// replica topologies must show real peer traffic. GCACC_CLUSTER_N
+// overrides the corpus budget; -short drops the 4-replica topology.
+func TestConformanceCluster(t *testing.T) {
+	n := 16
+	if env := os.Getenv("GCACC_CLUSTER_N"); env != "" {
+		v, err := strconv.Atoi(env)
+		if err != nil {
+			t.Fatalf("GCACC_CLUSTER_N=%q: %v", env, err)
+		}
+		n = v
+	}
+	replicas := []int{1, 2, 4}
+	if testing.Short() {
+		replicas = []int{1, 2}
+	}
+	rep, err := verify.RunCluster(verify.ClusterOptions{N: n, Seed: 1, Replicas: replicas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPaths := len(gcacc.Engines()) * len(replicas)
+	if len(rep.Engines) != wantPaths {
+		t.Fatalf("harness exercised %d engine/topology pairs, want %d", len(rep.Engines), wantPaths)
+	}
+	for _, e := range rep.Engines {
+		if e.Cases != rep.Cases {
+			t.Errorf("engine %s/%s ran %d of %d cases", e.Engine, e.Path, e.Cases, rep.Cases)
+		}
+	}
+	if !rep.OK() {
+		t.Fatalf("cluster conformance failures:\n%s", rep.Format())
+	}
+}
+
 // TestConformancePowerOfTwo pins the paper's closed form at a power-of-two
 // size, where 1 + log n · (3·log n + 8) is exact: n = 32 gives log n = 5
 // and 116 generations.
